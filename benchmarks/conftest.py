@@ -1,0 +1,55 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Scale is controlled by environment variables so the same harness serves
+quick CI checks and full paper-scale regeneration:
+
+* ``REPRO_BENCH_DURATION`` — seconds of each video to stream
+  (default 60; the paper uses full-length videos: set 0 for no cap).
+* ``REPRO_BENCH_USERS`` — test users per video (default 2; paper: 8).
+
+The Fig. 9/10/11 benchmarks share one session matrix per device, cached
+here so the suite simulates each configuration once.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments import make_setup, run_comparison
+from repro.power import get_device
+
+
+def bench_duration() -> int | None:
+    raw = int(os.environ.get("REPRO_BENCH_DURATION", "60"))
+    return None if raw <= 0 else raw
+
+
+def bench_users() -> int:
+    return int(os.environ.get("REPRO_BENCH_USERS", "2"))
+
+
+@lru_cache(maxsize=None)
+def shared_setup():
+    return make_setup(max_duration_s=bench_duration())
+
+
+@lru_cache(maxsize=None)
+def shared_matrix(device_name: str):
+    device = get_device(device_name)
+    return run_comparison(
+        shared_setup(), device, users_per_video=bench_users()
+    )
+
+
+@pytest.fixture(scope="session")
+def setup():
+    return shared_setup()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

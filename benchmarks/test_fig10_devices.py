@@ -1,0 +1,27 @@
+"""Fig. 10 — energy comparison on the Nexus 5X and Galaxy S20.
+
+The paper shows the same ordering and similar magnitudes as on the
+Pixel 3 for both other phones.
+"""
+
+import pytest
+
+from conftest import run_once, shared_matrix
+from repro.experiments import print_lines, summarize_energy
+from repro.power import get_device
+
+
+@pytest.mark.parametrize("device_name", ["nexus5x", "galaxys20"])
+def test_fig10_devices(benchmark, device_name):
+    device = get_device(device_name)
+    results = run_once(benchmark, shared_matrix, device_name)
+    summary = summarize_energy(results, device.name)
+    print_lines(summary.report())
+
+    norm = summary.normalized()
+    assert norm["ours"] < norm["ptile"] < 1.0
+    assert norm["ptile"] < norm["ftile"]
+    assert norm["ptile"] < norm["nontile"]
+    # Savings in a plausible band on every device.
+    assert 0.40 < norm["ours"] < 0.75
+    assert 0.50 < norm["ptile"] < 0.85

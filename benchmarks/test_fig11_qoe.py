@@ -1,0 +1,36 @@
+"""Fig. 11 — QoE comparison.
+
+Paper headlines: versus Ctile, Ours improves QoE by 7.4 % under trace 1
+and 18.4 % under trace 2; Ours trails Ptile by only a few percent (4.6 %
+at trace 2) while saving much more energy; Nontile cannot protect the
+FoV and lands at the bottom.
+"""
+
+from conftest import run_once, shared_matrix
+from repro.experiments import print_lines, summarize_qoe
+
+
+def test_fig11_qoe(benchmark):
+    results = run_once(benchmark, shared_matrix, "pixel3")
+    summary = summarize_qoe(results)
+    print_lines(summary.report())
+
+    for trace in ("trace1", "trace2"):
+        norm = summary.normalized(trace)
+        # Ptile-based schemes beat Ctile.
+        assert norm["ptile"] > 1.0
+        assert norm["ours"] > 0.97
+        # Ours trades at most a few percent against Ptile.
+        assert norm["ours"] > norm["ptile"] - 0.08
+
+    # The improvement is larger under the constrained trace 2
+    # (paper: +7.4 % trace 1 vs +18.4 % trace 2).
+    gain1 = summary.improvement_vs_ctile("ptile", "trace1")
+    gain2 = summary.improvement_vs_ctile("ptile", "trace2")
+    assert gain2 > gain1
+
+    # Fig. 11(d): components for video 8 / trace 2 — Ptile/Ours achieve
+    # higher average quality than Ctile.
+    components = summary.components_for(8, "trace2")
+    assert components["ptile"][0] > components["ctile"][0]
+    assert components["ours"][0] > components["ctile"][0]

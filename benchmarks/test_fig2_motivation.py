@@ -1,0 +1,34 @@
+"""Fig. 2 — motivation: tile-based streaming's energy inefficiency.
+
+Paper numbers: (a) Ptile saves ~35 % transmission energy; (b) 1..9
+decoders run 1.3 s/241 mW to 0.5 s/846 mW, Ptile at 0.24 s/287 mW;
+(c) Ptile saves ~41 % processing energy versus the 4-decoder scheme.
+"""
+
+import pytest
+
+from repro.experiments import print_lines, run_fig2
+
+
+def test_fig2_motivation(benchmark):
+    result = benchmark(run_fig2)
+    print_lines(result.report())
+
+    # (a) transmission saving in the paper's ballpark.
+    assert 0.25 < result.transmission_saving < 0.50
+
+    # (b) endpoints are the measured values; curves are monotone.
+    assert result.decode_times_s[1] == pytest.approx(1.3)
+    assert result.decode_times_s[9] == pytest.approx(0.5)
+    assert result.decode_powers_mw[1] == pytest.approx(241.0)
+    assert result.decode_powers_mw[9] == pytest.approx(846.0)
+    times = [result.decode_times_s[d] for d in range(1, 10)]
+    powers = [result.decode_powers_mw[d] for d in range(1, 10)]
+    assert times == sorted(times, reverse=True)
+    assert powers == sorted(powers)
+
+    # (c) the Ptile wins against every decoder count, by a large margin
+    # against the paper's best (4-decoder) configuration.
+    for d in range(1, 10):
+        assert result.processing_ratio_vs_decoders[d] < 1.0
+    assert result.processing_saving_vs(4) > 0.30

@@ -1,0 +1,20 @@
+"""Fig. 4 — SI/TI scatter and the Q_o surface."""
+
+import numpy as np
+
+from repro.experiments import print_lines, run_fig4
+
+
+def test_fig4_qoe_model(benchmark):
+    result = benchmark(run_fig4)
+    print_lines(result.report())
+
+    # (a) the catalog spans a genuine spread of content complexity.
+    assert result.si.max() - result.si.min() > 10.0
+    assert result.ti.max() - result.ti.min() > 8.0
+
+    # (b) the surface rises with bitrate and falls with TI everywhere.
+    assert np.all(np.diff(result.surface_qo, axis=1) > 0)
+    assert np.all(np.diff(result.surface_qo, axis=0) < 0)
+    assert result.surface_qo.min() >= 0.0
+    assert result.surface_qo.max() <= 100.0

@@ -1,0 +1,22 @@
+"""Fig. 5 — view switching speed distribution.
+
+Paper headline: users exceed 10 degrees/second more than 30 % of the
+time.
+"""
+
+import numpy as np
+
+from conftest import run_once, shared_setup
+from repro.experiments import print_lines, run_fig5
+
+
+def test_fig5_switching_speed(benchmark):
+    setup = shared_setup()
+    result = run_once(benchmark, run_fig5, setup.dataset)
+    print_lines(result.report())
+
+    assert result.fraction_above_10 > 0.25  # paper: >30 %
+    assert result.fraction_above_10 < 0.75
+    grid, cdf = result.cdf()
+    assert np.all(np.diff(cdf) >= 0)
+    assert result.percentiles[50] < result.percentiles[90]

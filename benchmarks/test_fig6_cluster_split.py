@@ -1,0 +1,22 @@
+"""Fig. 6 — splitting an oversized cluster with the sigma bound."""
+
+from repro.experiments import print_lines, run_fig6
+
+
+def test_fig6_cluster_split(benchmark):
+    result = benchmark(run_fig6)
+    print_lines(result.report())
+
+    # Without the bound, density chaining produces one huge cluster...
+    assert result.unbounded.num_ptiles == 1
+    assert max(result.unbounded_diameters) > result.sigma
+
+    # ...which the sigma bound splits into two right-sized Ptiles.
+    assert result.bounded.num_ptiles == 2
+    assert all(d <= result.sigma for d in result.bounded_diameters)
+
+    # The split shrinks the largest Ptile (the figure's point: a single
+    # oversized Ptile loses the energy benefits).
+    biggest_before = max(p.n_tiles for p in result.unbounded.ptiles)
+    biggest_after = max(p.n_tiles for p in result.bounded.ptiles)
+    assert biggest_after < biggest_before

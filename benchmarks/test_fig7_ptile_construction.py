@@ -1,0 +1,25 @@
+"""Fig. 7 — Ptile construction coverage.
+
+Paper: focused videos (1-4) need one Ptile for >95 % of segments
+(video 1: one or two for >96 %) and cover 88-95 % of users; the
+exploratory videos (5-8) need at most two Ptiles for >92 % of segments
+and cover over 80 % of users.
+"""
+
+from conftest import run_once, shared_setup
+from repro.experiments import print_lines, run_fig7
+
+
+def test_fig7_ptile_construction(benchmark):
+    setup = shared_setup()
+    result = run_once(benchmark, run_fig7, setup)
+    print_lines(result.report())
+
+    for vid, stats in result.stats.items():
+        behavior = setup.dataset.video(vid).meta.behavior
+        if behavior == "focused":
+            assert stats.fraction_needing_at_most(2) > 0.9
+            assert stats.covered_fraction > 0.85
+        else:
+            assert stats.fraction_needing_at_most(2) > 0.85
+            assert stats.covered_fraction > 0.75

@@ -1,0 +1,30 @@
+"""Fig. 8 — normalized Ptile data size CDFs.
+
+Paper medians at quality 5..1: 62 / 57 / 47 / 35 / 27 % — the numbers
+the rate model is calibrated against, checked here end-to-end over the
+full catalog with encoder noise.
+"""
+
+import numpy as np
+
+from repro.experiments import PAPER_MEDIANS, print_lines, run_fig8
+
+
+def test_fig8_ptile_size(benchmark):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"segments_per_video": 80}, rounds=1, iterations=1
+    )
+    print_lines(result.report())
+
+    for quality, paper_median in PAPER_MEDIANS.items():
+        assert abs(result.median(quality) - paper_median) < 0.03
+
+    # The saving grows as quality falls (the paper's key trend).
+    medians = [result.median(q) for q in (5, 4, 3, 2, 1)]
+    assert medians == sorted(medians, reverse=True)
+
+    # CDFs are proper distributions with spread (real encodes vary).
+    for quality in PAPER_MEDIANS:
+        ratios = result.ratios[quality]
+        assert np.std(ratios) > 0.01
+        assert np.all(ratios > 0)

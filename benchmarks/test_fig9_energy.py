@@ -1,0 +1,46 @@
+"""Fig. 9 — energy comparison on the Pixel 3.
+
+Paper headlines: versus Ctile, Ptile saves 30.3 % and Ours 49.7 % on
+average; for video 8 / trace 2 the savings split into transmission
+(26.1 % / 47.7 %) and decoding (50.1 % / 53.5 %); Nontile burns the most
+transmission energy under the fast trace 1.
+"""
+
+from conftest import run_once, shared_matrix
+from repro.experiments import compare_schemes, print_lines, summarize_energy
+
+
+def test_fig9_energy(benchmark):
+    results = run_once(benchmark, shared_matrix, "pixel3")
+    summary = summarize_energy(results, "Pixel 3")
+    print_lines(summary.report())
+
+    norm = summary.normalized()
+    # Ordering: Ours < Ptile < Ftile/Nontile < Ctile.
+    assert norm["ours"] < norm["ptile"]
+    assert norm["ptile"] < norm["ftile"]
+    assert norm["ptile"] < norm["nontile"]
+    assert max(norm.values()) == norm["ctile"] == 1.0
+
+    # Magnitudes in the paper's ballpark (paper: 0.697 and 0.503).
+    assert 0.55 < norm["ptile"] < 0.80
+    assert 0.45 < norm["ours"] < 0.70
+
+    # Fig. 9(d): breakdown for video 8 / trace 2.
+    breakdown = summary.breakdown_for(8, "trace2")
+    assert breakdown["ptile"][0] < breakdown["ctile"][0]  # transmission
+    assert breakdown["ours"][0] < breakdown["ptile"][0]
+    assert breakdown["ptile"][1] < 0.6 * breakdown["ctile"][1]  # decoding
+    assert breakdown["ours"][1] <= breakdown["ptile"][1]
+
+    # Nontile's transmission hunger under trace 1.
+    t1_nontile = summary.breakdown[("trace1", "nontile", 8)][0]
+    t1_ptile = summary.breakdown[("trace1", "ptile", 8)][0]
+    assert t1_nontile > t1_ptile
+
+    # The headline saving is statistically significant across matched
+    # (video, user, trace) sessions, not a lucky average.
+    comparison = compare_schemes(results, "ctile", "ours")
+    print("  " + comparison.report())
+    assert comparison.mean_diff > 0
+    assert comparison.significant

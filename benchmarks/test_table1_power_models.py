@@ -1,0 +1,16 @@
+"""Table I — the measured power models, printed in the paper's layout."""
+
+from repro.experiments import print_lines, table1_rows
+from repro.power import DEVICES, TilingScheme
+
+
+def test_table1_power_models(benchmark):
+    rows = benchmark(table1_rows)
+    print_lines(rows)
+    # Shape checks: transmission dominates, Ptile decode is the
+    # cheapest row on every phone.
+    for device in DEVICES.values():
+        assert device.transmission_mw > 1000.0
+        ptile = device.decoding_mw(TilingScheme.PTILE, 30.0)
+        for scheme in TilingScheme:
+            assert ptile <= device.decoding_mw(scheme, 30.0)

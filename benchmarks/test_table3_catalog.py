@@ -1,0 +1,17 @@
+"""Table III — the eight test videos."""
+
+from repro.experiments import print_lines, table3_rows
+from repro.video import VIDEO_CATALOG, build_catalog
+
+
+def test_table3_catalog(benchmark):
+    videos = benchmark(build_catalog)
+    print_lines(table3_rows())
+    assert len(videos) == 8
+    # Durations match Table III and segments are 1 s each.
+    expected = {1: 361, 2: 172, 3: 373, 4: 278, 5: 292, 6: 164, 7: 205, 8: 201}
+    for video in videos:
+        assert video.num_segments == expected[video.meta.video_id]
+    behaviors = {m.video_id: m.behavior for m in VIDEO_CATALOG}
+    assert all(behaviors[v] == "focused" for v in (1, 2, 3, 4))
+    assert all(behaviors[v] == "exploratory" for v in (5, 6, 7, 8))

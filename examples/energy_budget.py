@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Energy budget: where the joules go on each phone.
+
+Uses the Table I power models and the MPC controller to answer a
+product question the paper motivates: *how much battery does a ten-
+minute 360-degree session cost, and what does the Ptile + frame-rate
+machinery buy you on each device?*
+
+Run:  python examples/energy_budget.py
+"""
+
+from repro import (
+    CtileScheme,
+    EncoderModel,
+    OursScheme,
+    VideoManifest,
+    build_dataset,
+    build_video_ptiles,
+    paper_traces,
+    run_session,
+)
+from repro.geometry import DEFAULT_GRID
+from repro.power import DEVICES
+
+# A typical phone battery: ~3000 mAh at 3.85 V nominal.
+BATTERY_WH = 3000e-3 * 3.85
+BATTERY_J = BATTERY_WH * 3600.0
+
+SESSION_MINUTES = 10.0
+
+
+def main() -> None:
+    dataset = build_dataset(video_ids=(1,), max_duration_s=120)
+    video = dataset.video(1)
+    manifest = VideoManifest(video, EncoderModel())
+    _, trace2 = paper_traces()
+    ptiles = build_video_ptiles(video, dataset.train_traces(1), DEFAULT_GRID)
+    head = dataset.test_traces(1)[0]
+
+    print(f"Streaming '{video.meta.title}' over {trace2.name}"
+          f" ({trace2.mean_mbps:.1f} Mbps LTE), per-device energy budget\n")
+    header = (f"{'device':<12}{'scheme':<8}{'J/seg':>7}{'tx%':>6}{'dec%':>6}"
+              f"{'rend%':>7}{'W':>7}{'battery/10min':>15}")
+    print(header)
+    print("-" * len(header))
+
+    for device in DEVICES.values():
+        for scheme_name, scheme in (
+            ("ctile", CtileScheme()),
+            ("ours", OursScheme(device=device)),
+        ):
+            result = run_session(
+                scheme, manifest, head, trace2, device, ptiles=ptiles
+            )
+            per_seg = result.energy_per_segment_j
+            energy = result.energy
+            total = energy.total_j
+            watts = per_seg / 1.0  # 1-second segments
+            session_j = watts * SESSION_MINUTES * 60.0
+            battery = session_j / BATTERY_J
+            print(
+                f"{device.name:<12}{scheme_name:<8}{per_seg:>7.2f}"
+                f"{energy.transmission_j / total:>6.0%}"
+                f"{energy.decoding_j / total:>6.0%}"
+                f"{energy.rendering_j / total:>7.0%}"
+                f"{watts:>7.2f}"
+                f"{battery:>14.1%}"
+            )
+    print(
+        "\n(Screen power excluded, as in the paper; the battery column is"
+        " the share of a 3000 mAh pack a 10-minute session consumes.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Ptile explorer: watch Algorithm 1 cluster viewers and build Ptiles.
+
+Walks through one segment of a focused and an exploratory video,
+printing the viewing centers, the clusters Algorithm 1 finds, the
+resulting Ptile rectangles, and an ASCII map of the 4x8 tile grid
+showing which tiles each Ptile covers.
+
+Run:  python examples/ptile_explorer.py
+"""
+
+from repro import build_dataset
+from repro.geometry import DEFAULT_GRID, Tile
+from repro.ptile import PtileConfig, ViewingCenter, build_segment_ptiles
+
+
+def ascii_map(segment_ptiles) -> str:
+    """Render the tile grid; letters mark Ptiles, dots the remainder."""
+    labels = {}
+    for ptile in segment_ptiles.ptiles:
+        letter = chr(ord("A") + ptile.index)
+        for tile in ptile.tiles:
+            labels[tile] = letter
+    lines = []
+    for row in range(DEFAULT_GRID.rows):
+        cells = [labels.get(Tile(row, col), ".") for col in range(DEFAULT_GRID.cols)]
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def explore(dataset, video_id: int, segment: int) -> None:
+    video = dataset.video(video_id)
+    print(f"\n=== Video {video_id}: {video.meta.title}"
+          f" ({video.meta.behavior}), segment {segment} ===")
+
+    centers = [
+        ViewingCenter(t.user_id, *t.segment_center(segment))
+        for t in dataset.train_traces(video_id)
+    ]
+    sample = ", ".join(
+        f"({c.yaw:.0f},{c.pitch:+.0f})" for c in centers[:8]
+    )
+    print(f"Training viewing centers (first 8 of {len(centers)}): {sample}")
+
+    config = PtileConfig()
+    sigma = config.resolved_sigma(DEFAULT_GRID)
+    print(f"Algorithm 1 with sigma={sigma:.1f} deg, delta={sigma / 4:.1f} deg,"
+          f" min {config.min_users} users per Ptile")
+
+    sp = build_segment_ptiles(DEFAULT_GRID, centers, config, segment)
+    print(f"Constructed {sp.num_ptiles} Ptile(s):")
+    for ptile in sp.ptiles:
+        yaw, pitch = ptile.cluster.centroid()
+        print(
+            f"  Ptile {ptile.index}: {ptile.cluster.size} users around"
+            f" ({yaw:.0f}, {pitch:+.0f}),"
+            f" {ptile.n_tiles} tiles"
+            f" ({ptile.area_fraction:.0%} of the frame),"
+            f" cluster diameter {ptile.cluster.diameter():.1f} deg"
+        )
+        for block in sp.remainder_for(ptile):
+            print(f"    remainder {block.key}: {block.n_tiles} tiles at"
+                  " lowest quality")
+    print("Tile map (letters = Ptiles, dots = low-quality remainder):")
+    print(ascii_map(sp))
+
+    covered = sum(
+        sp.covers_user(*t.segment_center(segment))
+        for t in dataset.traces[video_id]
+    )
+    total = len(dataset.traces[video_id])
+    print(f"Users covered at this segment: {covered}/{total}")
+
+
+def main() -> None:
+    dataset = build_dataset(video_ids=(2, 8), max_duration_s=60)
+    explore(dataset, 2, segment=20)  # focused: Showtime Boxing
+    explore(dataset, 8, segment=20)  # exploratory: Freestyle Skiing
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scheme shoot-out: all five schemes across both network traces.
+
+Reproduces a compact version of the paper's Section V-C comparison
+(Figs. 9 and 11): every scheme streams the same test users over the same
+videos under trace 1 (fast LTE) and trace 2 (slow LTE), and the energy
+and QoE are reported normalized by the conventional Ctile baseline.
+
+Run:  python examples/scheme_shootout.py [--full]
+
+``--full`` streams the full-length videos with all eight test users per
+video (several minutes); the default is a quick subsample.
+"""
+
+import argparse
+
+from repro.experiments import (
+    SCHEME_ORDER,
+    make_setup,
+    run_comparison,
+    summarize_energy,
+    summarize_qoe,
+)
+from repro.power import PIXEL_3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale run (slow)")
+    args = parser.parse_args()
+
+    if args.full:
+        setup = make_setup()
+        users = None
+    else:
+        setup = make_setup(max_duration_s=90)
+        users = 2
+
+    print("Simulating the 5-scheme session matrix (this streams "
+          f"{'full videos' if args.full else '90-second clips'})...")
+    results = run_comparison(setup, PIXEL_3, users_per_video=users)
+
+    energy = summarize_energy(results, PIXEL_3.name)
+    qoe = summarize_qoe(results)
+
+    print("\n=== Energy, normalized by Ctile (paper Fig. 9(c)) ===")
+    print("paper: ptile 0.697 (-30.3%), ours 0.503 (-49.7%)")
+    norm = energy.normalized()
+    for scheme in SCHEME_ORDER:
+        print(f"  {scheme:<8} {norm[scheme]:.3f}  ({1 - norm[scheme]:+.1%})")
+
+    print("\n=== QoE, normalized by Ctile (paper Fig. 11(c)) ===")
+    print("paper: ours +7.4% (trace 1), +18.4% (trace 2)")
+    for trace in ("trace1", "trace2"):
+        qnorm = qoe.normalized(trace)
+        row = "  ".join(
+            f"{scheme}={qnorm[scheme]:.3f}" for scheme in SCHEME_ORDER
+        )
+        print(f"  {trace}: {row}")
+
+    print("\n=== Energy breakdown, video 8 / trace 2 (paper Fig. 9(d)) ===")
+    for scheme, (t, d, r) in energy.breakdown_for(8, "trace2").items():
+        print(f"  {scheme:<8} tx {t:.2f}  dec {d:.2f}  rend {r:.2f}  J/segment")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+``repro-360`` regenerates any of the paper's tables and figures from the
+terminal::
+
+    repro-360 table1
+    repro-360 fig8
+    repro-360 fig9 --device galaxys20 --duration 120 --users 2
+    repro-360 all --duration 60 --users 1
+
+Experiments that simulate streaming sessions accept ``--duration`` (clip
+videos to a prefix, seconds) and ``--users`` (test users per video) to
+trade fidelity for speed; the defaults run a moderate subsample.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    make_setup,
+    print_lines,
+    run_comparison,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig11,
+    run_table2,
+    summarize_energy,
+    summarize_qoe,
+    table1_rows,
+    table3_rows,
+)
+from .power.models import PIXEL_3, get_device
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-360",
+        description=(
+            "Reproduce tables and figures of 'Energy-Efficient and "
+            "QoE-Aware 360-Degree Video Streaming on Mobile Devices' "
+            "(ICDCS 2022)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "table2", "table3",
+            "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "ablation", "report", "all",
+        ],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--duration", type=int, default=120,
+        help="clip videos to this many seconds (session experiments)",
+    )
+    parser.add_argument(
+        "--users", type=int, default=2,
+        help="test users per video (session experiments)",
+    )
+    parser.add_argument(
+        "--device", default="pixel3",
+        help="device for fig9/fig11 (pixel3, nexus5x, galaxys20)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2017, help="dataset seed"
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the report to this file (report command)",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> None:
+    if name == "table1":
+        print_lines(table1_rows())
+    elif name == "table2":
+        print_lines(run_table2().report())
+    elif name == "table3":
+        print_lines(table3_rows())
+    elif name == "fig2":
+        print_lines(run_fig2().report())
+    elif name == "fig4":
+        print_lines(run_fig4().report())
+    elif name == "fig5":
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed)
+        print_lines(run_fig5(setup.dataset).report())
+    elif name == "fig6":
+        from .experiments import run_fig6
+
+        print_lines(run_fig6().report())
+    elif name == "fig7":
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed)
+        print_lines(run_fig7(setup).report())
+    elif name == "fig8":
+        print_lines(run_fig8(segments_per_video=60).report())
+    elif name in ("fig9", "fig11"):
+        device = get_device(args.device)
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed)
+        results = run_comparison(setup, device, users_per_video=args.users)
+        if name == "fig9":
+            print_lines(summarize_energy(results, device.name).report())
+        else:
+            print_lines(summarize_qoe(results).report())
+    elif name == "fig10":
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed)
+        for device_name in ("nexus5x", "galaxys20"):
+            device = get_device(device_name)
+            comparison = run_fig9(setup, device, users_per_video=args.users)
+            print_lines(comparison.report())
+    elif name == "ablation":
+        from .experiments import (
+            make_setup as _make_setup,
+            sweep_bandwidth_estimator,
+            sweep_clustering_sigma,
+            sweep_frame_rate_ladder,
+            sweep_mpc_horizon,
+            sweep_qoe_tolerance,
+            sweep_viewport_predictor,
+        )
+
+        setup = _make_setup(max_duration_s=args.duration, seed=args.seed,
+                            video_ids=(5, 8))
+        sweeps = {
+            "MPC horizon": sweep_mpc_horizon(setup, users=args.users),
+            "QoE tolerance": sweep_qoe_tolerance(setup, users=args.users),
+            "frame-rate ladder": sweep_frame_rate_ladder(setup,
+                                                         users=args.users),
+            "bandwidth estimator": sweep_bandwidth_estimator(
+                setup, users=args.users
+            ),
+            "clustering sigma": sweep_clustering_sigma(setup),
+            "viewport predictor": sweep_viewport_predictor(
+                setup, users=args.users
+            ),
+        }
+        for title, points in sweeps.items():
+            print(f"-- {title} --")
+            for point in points:
+                print(point.report())
+    elif name == "report":
+        from .experiments.full_report import ReportConfig, generate_report
+
+        report_config = ReportConfig(
+            max_duration_s=args.duration,
+            users_per_video=args.users,
+            device=args.device,
+            seed=args.seed,
+        )
+        text = generate_report(report_config, path=args.output)
+        if args.output:
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(f"unknown experiment {name}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # e.g. piped into `head`
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+def _main(argv: list[str] | None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        names = [
+            "table1", "table2", "table3",
+            "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11",
+        ]
+    else:
+        names = [args.experiment]
+    for name in names:
+        print(f"== {name} ==")
+        _run_one(name, args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

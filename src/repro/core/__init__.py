@@ -1,0 +1,17 @@
+"""Core contribution: configuration, MPC optimizer, Ours controller."""
+
+from .config import StreamingConfig
+from .controller import OursScheme
+from .offline import OfflinePlan, solve_offline
+from .optimizer import EnergyQoEMpc, MpcConfig, MpcDecision, MpcSegment
+
+__all__ = [
+    "StreamingConfig",
+    "OursScheme",
+    "OfflinePlan",
+    "solve_offline",
+    "EnergyQoEMpc",
+    "MpcConfig",
+    "MpcDecision",
+    "MpcSegment",
+]

@@ -1,0 +1,63 @@
+"""Central experiment configuration (paper Section V-A defaults).
+
+One dataclass gathers every tunable the paper fixes, so experiments,
+examples, and tests share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry.tiling import TileGrid
+from ..ptile.construction import PtileConfig
+from ..qoe.metrics import QoEWeights
+from ..video.encoder import QUALITY_LEVELS
+from ..video.framerate import FrameRateLadder
+from .optimizer import MpcConfig
+
+__all__ = ["StreamingConfig"]
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """All paper defaults in one place.
+
+    * 1 s segments on a 4x8 grid, five quality levels (CRF 38..18);
+    * 100 degree FoV, 3 s playback buffer;
+    * frame-rate ladder reducing {10, 20, 30} % of 30 fps;
+    * QoE weights (1, 1) and 5 % QoE tolerance;
+    * MPC horizon 5 with 500 ms buffer granularity;
+    * Ptile parameters sigma = tile width, delta = sigma / 4, >= 5 users.
+    """
+
+    segment_seconds: float = 1.0
+    grid_rows: int = 4
+    grid_cols: int = 8
+    fov_deg: float = 100.0
+    buffer_threshold_s: float = 3.0
+    qualities: tuple[int, ...] = QUALITY_LEVELS
+    ladder: FrameRateLadder = field(default_factory=FrameRateLadder)
+    qoe_weights: QoEWeights = field(default_factory=QoEWeights)
+    qoe_tolerance: float = 0.05
+    mpc_horizon: int = 5
+    buffer_granularity_s: float = 0.5
+    bandwidth_window: int = 5
+    n_users: int = 48
+    n_train_users: int = 40
+
+    def make_grid(self) -> TileGrid:
+        return TileGrid(self.grid_rows, self.grid_cols)
+
+    def make_ptile_config(self) -> PtileConfig:
+        grid = self.make_grid()
+        sigma = grid.tile_width
+        return PtileConfig(sigma=sigma, delta=sigma / 4.0, fov_deg=self.fov_deg)
+
+    def make_mpc_config(self) -> MpcConfig:
+        return MpcConfig(
+            horizon=self.mpc_horizon,
+            buffer_granularity_s=self.buffer_granularity_s,
+            buffer_threshold_s=self.buffer_threshold_s,
+            qoe_tolerance=self.qoe_tolerance,
+            segment_seconds=self.segment_seconds,
+        )

@@ -1,0 +1,156 @@
+"""The "Ours" streaming controller (paper Sections IV-B and IV-C).
+
+For each segment the client:
+
+1. predicts the viewing area (ridge regression, done by the session
+   loop) and checks whether a Ptile covers it;
+2. if so, builds the lookahead window — per-future-segment download
+   sizes for every (bitrate, frame rate) version and their predicted
+   QoE — and runs the MPC dynamic program to pick the energy-minimal
+   version within the 5 % QoE tolerance;
+3. otherwise falls back to conventional tiles at the best possible
+   quality (Ctile behaviour, including its multi-decoder energy cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..power.energy import EnergyModel
+from ..power.models import DevicePowerModel, TilingScheme
+from ..ptile.construction import Ptile, SegmentPtiles, partition_remainder
+from ..video.encoder import QUALITY_LEVELS
+from ..qoe.framerate import alpha_from_behavior, frame_rate_factor
+from ..qoe.quality import QualityModel
+from ..streaming.schemes import (
+    CtileScheme,
+    DownloadPlan,
+    LOWEST_QUALITY,
+    PlanContext,
+    split_wrapped_rect,
+)
+from ..video.framerate import DEFAULT_LADDER, FrameRateLadder
+from ..video.segments import SegmentManifest
+from .optimizer import EnergyQoEMpc, MpcConfig, MpcSegment
+
+__all__ = ["OursScheme"]
+
+
+@dataclass(frozen=True)
+class OursScheme:
+    """Energy-efficient and QoE-aware Ptile streaming with MPC."""
+
+    device: DevicePowerModel
+    ladder: FrameRateLadder = DEFAULT_LADDER
+    quality_model: QualityModel = field(default_factory=QualityModel)
+    mpc_config: MpcConfig = field(default_factory=MpcConfig)
+    fallback: CtileScheme = field(default_factory=CtileScheme)
+    name: str = "ours"
+
+    def plan(self, ctx: PlanContext) -> DownloadPlan:
+        if ctx.segment_ptiles is None:
+            return self._fallback_plan(ctx)
+        ptile = ctx.segment_ptiles.match(ctx.predicted_viewport)
+        if ptile is None:
+            return self._fallback_plan(ctx)
+
+        segments = self._lookahead(ctx, ptile)
+        mpc = EnergyQoEMpc(
+            EnergyModel(self.device, ctx.segment_seconds), self.mpc_config
+        )
+        decision = mpc.choose(segments, ctx.bandwidth_mbps, ctx.buffer_s)
+        size = float(
+            segments[0].sizes_mbit[decision.quality - 1, decision.frame_rate_index - 1]
+        )
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=decision.quality,
+            frame_rate=decision.frame_rate,
+            total_size_mbit=size,
+            decode_scheme=TilingScheme.PTILE,
+            hq_rects=split_wrapped_rect(ptile.rect),
+            used_ptile=True,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _lookahead(self, ctx: PlanContext, current_ptile: Ptile) -> list[MpcSegment]:
+        """Build the MPC window from the metadata of the next H segments.
+
+        Future segments reuse the predicted viewport; when a future
+        segment has no matching Ptile its sizes are approximated with
+        the current Ptile's geometry (the client cannot know better).
+        """
+        segments: list[MpcSegment] = []
+        manifests = ctx.future_manifests or (ctx.manifest,)
+        for offset, manifest in enumerate(manifests):
+            ptile = current_ptile
+            future = (
+                ctx.future_ptiles[offset]
+                if offset < len(ctx.future_ptiles)
+                else None
+            )
+            if future is not None:
+                matched = future.match(ctx.predicted_viewport)
+                if matched is not None:
+                    ptile = matched
+            segments.append(self._segment_versions(ctx, manifest, ptile, future))
+        return segments
+
+    def _segment_versions(
+        self,
+        ctx: PlanContext,
+        manifest: SegmentManifest,
+        ptile: Ptile,
+        segment_ptiles: SegmentPtiles | None,
+    ) -> MpcSegment:
+        """Download sizes and predicted QoE for every (v, f) version."""
+        rates = self.ladder.rates()
+        qualities = QUALITY_LEVELS
+        alpha = alpha_from_behavior(
+            max(ctx.predicted_speed_deg_s, 0.0), manifest.ti
+        )
+
+        # Low-quality remainder blocks: fixed cost across versions.
+        if segment_ptiles is not None and ptile.index < len(segment_ptiles.ptiles) \
+                and segment_ptiles.ptiles[ptile.index] is ptile:
+            remainder = segment_ptiles.remainder_for(ptile)
+        else:
+            remainder = partition_remainder(ptile.grid, ptile)
+        background = sum(
+            manifest.region_size_mbit(b.key, b.area_fraction, LOWEST_QUALITY)
+            for b in remainder
+        )
+
+        sizes = np.empty((len(qualities), len(rates)))
+        qoe = np.empty_like(sizes)
+        for vi, v in enumerate(qualities):
+            qo = self.quality_model.qo(
+                manifest.si, manifest.ti, manifest.qoe_bitrate_mbps(v)
+            )
+            for fi, rate in enumerate(rates):
+                sizes[vi, fi] = (
+                    manifest.region_size_mbit(
+                        ptile.region_key,
+                        ptile.area_fraction,
+                        v,
+                        frame_rate=rate,
+                        fps=ctx.fps,
+                    )
+                    + background
+                )
+                qoe[vi, fi] = qo * frame_rate_factor(rate, ctx.fps, alpha)
+        return MpcSegment(sizes_mbit=sizes, qoe=qoe, frame_rates=rates)
+
+    def _fallback_plan(self, ctx: PlanContext) -> DownloadPlan:
+        plan = self.fallback.plan(ctx)
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=plan.quality,
+            frame_rate=plan.frame_rate,
+            total_size_mbit=plan.total_size_mbit,
+            decode_scheme=plan.decode_scheme,
+            hq_rects=plan.hq_rects,
+        )

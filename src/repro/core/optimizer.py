@@ -1,0 +1,238 @@
+"""MPC + dynamic-programming quality/frame-rate selection (Section IV-C).
+
+The energy-efficient and QoE-aware streaming problem (Eq. 8) minimizes
+total energy subject to (a) no rebuffering (Eq. 6-7), (b) one quality
+version per segment (8b), and (c) a bounded QoE loss relative to the
+best downloadable version (8c, tolerance epsilon = 5 %).
+
+Perfect future knowledge being impossible, the paper solves it online
+with Model Predictive Control: at each segment, predict bandwidth for
+the next H segments (harmonic mean), solve Eq. 8 over that window by
+dynamic programming on a discretized buffer state (500 ms granularity),
+apply the first decision, slide the window.  The DP's Bellman equation::
+
+    U*(B_i, v_i, f_i) = min_{v,f} { U*(B_{i-1}, v_{i-1}, f_{i-1}) + E(T_i^{v,f}) }
+
+runs in O(H * V * F) per chosen buffer state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power.energy import EnergyModel
+from ..power.models import TilingScheme
+
+__all__ = ["MpcConfig", "MpcSegment", "MpcDecision", "EnergyQoEMpc"]
+
+
+@dataclass(frozen=True)
+class MpcConfig:
+    """MPC parameters (paper Section IV-C / V-A defaults)."""
+
+    horizon: int = 5
+    buffer_granularity_s: float = 0.5
+    buffer_threshold_s: float = 3.0
+    qoe_tolerance: float = 0.05  # epsilon in constraint (8c)
+    segment_seconds: float = 1.0
+    bandwidth_safety: float = 0.9  # discount on the bandwidth estimate
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        if self.buffer_granularity_s <= 0 or self.buffer_threshold_s <= 0:
+            raise ValueError("buffer parameters must be positive")
+        if not (0.0 <= self.qoe_tolerance < 1.0):
+            raise ValueError("tolerance must be in [0, 1)")
+
+    @property
+    def num_states(self) -> int:
+        return int(round(self.buffer_threshold_s / self.buffer_granularity_s)) + 1
+
+    def state_levels(self) -> np.ndarray:
+        """The discretized buffer levels (0 .. beta, 500 ms steps)."""
+        return np.arange(self.num_states) * self.buffer_granularity_s
+
+    def snap(self, buffer_s: float) -> int:
+        """Nearest state index for a continuous buffer level."""
+        idx = int(round(buffer_s / self.buffer_granularity_s))
+        return min(max(idx, 0), self.num_states - 1)
+
+
+@dataclass(frozen=True)
+class MpcSegment:
+    """Per-segment lookahead data: sizes and quality for every version.
+
+    ``sizes_mbit[v-1, f-1]`` is the download size of the segment with
+    bitrate level v and frame-rate index f (both 1-based in the paper);
+    ``qoe[v-1, f-1]`` is the predicted per-segment quality
+    ``Q_o(v) * factor(f)``.  ``frame_rates[f-1]`` are the actual fps
+    values, needed for the decode/render power terms.
+    """
+
+    sizes_mbit: np.ndarray
+    qoe: np.ndarray
+    frame_rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes_mbit, dtype=float)
+        qoe = np.asarray(self.qoe, dtype=float)
+        if sizes.shape != qoe.shape or sizes.ndim != 2:
+            raise ValueError("sizes and qoe must be equal-shape 2D arrays")
+        if sizes.shape[1] != len(self.frame_rates):
+            raise ValueError("frame-rate axis mismatch")
+        if np.any(sizes <= 0):
+            raise ValueError("sizes must be positive")
+        object.__setattr__(self, "sizes_mbit", sizes)
+        object.__setattr__(self, "qoe", qoe)
+
+    @property
+    def num_qualities(self) -> int:
+        return int(self.sizes_mbit.shape[0])
+
+    @property
+    def num_rates(self) -> int:
+        return int(self.sizes_mbit.shape[1])
+
+
+@dataclass(frozen=True)
+class MpcDecision:
+    """The (v, f) decision for the current segment."""
+
+    quality: int  # 1-based bitrate level
+    frame_rate_index: int  # 1-based frame-rate index
+    frame_rate: float
+    planned_energy_j: float  # DP total over the horizon
+
+
+class EnergyQoEMpc:
+    """Solves the horizon problem of Eq. 8 by buffer-state DP."""
+
+    def __init__(self, energy_model: EnergyModel, config: MpcConfig = MpcConfig()):
+        self.energy_model = energy_model
+        self.config = config
+
+    def choose(
+        self,
+        segments: list[MpcSegment],
+        bandwidth_mbps: float,
+        buffer_s: float,
+    ) -> MpcDecision:
+        """Pick (v, f) for the first of the lookahead segments.
+
+        ``segments`` holds the current segment first, then up to H-1
+        future segments (a shorter list near the video end is fine).
+        """
+        if not segments:
+            raise ValueError("need at least one lookahead segment")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        bandwidth_mbps = bandwidth_mbps * self.config.bandwidth_safety
+        window = segments[: self.config.horizon]
+        cfg = self.config
+        levels = cfg.state_levels()
+
+        # DP tables: per state, the minimum energy and the decision path.
+        start = cfg.snap(buffer_s)
+        costs: dict[int, float] = {start: 0.0}
+        paths: dict[int, list[tuple[int, int]]] = {start: []}
+
+        for segment in window:
+            new_costs: dict[int, float] = {}
+            new_paths: dict[int, list[tuple[int, int]]] = {}
+            for state, cost in costs.items():
+                buffer_level = float(levels[state])
+                for v, f in self._feasible_versions(
+                    segment, bandwidth_mbps, buffer_level
+                ):
+                    size = float(segment.sizes_mbit[v - 1, f - 1])
+                    dl = size / bandwidth_mbps
+                    energy = self._version_energy(size, bandwidth_mbps,
+                                                  segment.frame_rates[f - 1])
+                    next_level = max(buffer_level - dl, 0.0) + cfg.segment_seconds
+                    next_state = cfg.snap(min(next_level, cfg.buffer_threshold_s))
+                    total = cost + energy
+                    if total < new_costs.get(next_state, np.inf):
+                        new_costs[next_state] = total
+                        new_paths[next_state] = paths[state] + [(v, f)]
+            costs, paths = new_costs, new_paths
+
+        best_state = min(costs, key=lambda s: costs[s])
+        first_v, first_f = paths[best_state][0]
+        return MpcDecision(
+            quality=first_v,
+            frame_rate_index=first_f,
+            frame_rate=window[0].frame_rates[first_f - 1],
+            planned_energy_j=float(costs[best_state]),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _feasible_versions(
+        self, segment: MpcSegment, bandwidth_mbps: float, buffer_s: float
+    ) -> list[tuple[int, int]]:
+        """Versions satisfying the no-stall and QoE constraints.
+
+        The QoE floor is ``(1 - eps) * Q(vm, fm)`` where (vm, fm) is the
+        highest bitrate at the full frame rate whose version can be
+        *successfully downloaded*, i.e. sustained at the predicted
+        bandwidth (one segment per segment duration) — the same quality
+        a pure quality-maximizing Ptile client would pick.  Actual
+        candidates must additionally finish before the buffer drains
+        (no-stall, Eq. 7).  When nothing is stall-free (e.g. cold
+        start), the constraint relaxes to the lowest bitrate's
+        frame-rate ladder.
+        """
+        v_count = segment.num_qualities
+        f_count = segment.num_rates
+        top_f = f_count  # highest frame rate index
+
+        def downloadable(v: int, f: int) -> bool:
+            return segment.sizes_mbit[v - 1, f - 1] / bandwidth_mbps <= buffer_s
+
+        def sustainable(v: int, f: int) -> bool:
+            dl = segment.sizes_mbit[v - 1, f - 1] / bandwidth_mbps
+            return dl <= min(self.config.segment_seconds, buffer_s)
+
+        vm = 0
+        for v in range(v_count, 0, -1):
+            if sustainable(v, top_f):
+                vm = v
+                break
+
+        if vm == 0:
+            # Nothing stall-free: fall back to the lowest bitrate and
+            # keep the QoE tolerance within its own frame-rate ladder.
+            floor = (1.0 - self.config.qoe_tolerance) * float(
+                segment.qoe[0, top_f - 1]
+            )
+            return [
+                (1, f)
+                for f in range(1, f_count + 1)
+                if segment.qoe[0, f - 1] >= floor
+            ]
+
+        floor = (1.0 - self.config.qoe_tolerance) * float(
+            segment.qoe[vm - 1, top_f - 1]
+        )
+        feasible = [
+            (v, f)
+            for v in range(1, v_count + 1)
+            for f in range(1, f_count + 1)
+            if downloadable(v, f) and segment.qoe[v - 1, f - 1] >= floor
+        ]
+        if not feasible:  # (vm, top_f) always qualifies, but be safe
+            feasible = [(vm, top_f)]
+        return feasible
+
+    def _version_energy(
+        self, size_mbit: float, bandwidth_mbps: float, frame_rate: float
+    ) -> float:
+        """Eq. 1 energy of one version under the predicted bandwidth."""
+        return (
+            self.energy_model.transmission_energy_j(size_mbit, bandwidth_mbps)
+            + self.energy_model.decoding_energy_j(TilingScheme.PTILE, frame_rate)
+            + self.energy_model.rendering_energy_j(frame_rate)
+        )

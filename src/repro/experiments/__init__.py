@@ -1,0 +1,86 @@
+"""Experiment runners: one per paper table and figure."""
+
+from .ablations import (
+    AblationPoint,
+    sweep_bandwidth_estimator,
+    sweep_clustering_sigma,
+    sweep_frame_rate_ladder,
+    sweep_mpc_horizon,
+    sweep_qoe_tolerance,
+    sweep_viewport_predictor,
+)
+from .analysis import (
+    BootstrapCI,
+    PairedComparison,
+    bootstrap_ci,
+    compare_schemes,
+    paired_comparison,
+)
+from .fig2 import Fig2Result, run_fig2
+from .full_report import ReportConfig, generate_report
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, make_wide_cluster, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .fig8 import Fig8Result, PAPER_MEDIANS, run_fig8
+from .fig9 import EnergyComparison, run_fig9, summarize_energy
+from .fig11 import QoEComparison, run_fig11, summarize_qoe
+from .report import format_normalized, format_row, format_table, print_lines
+from .setup import (
+    ExperimentSetup,
+    SCHEME_ORDER,
+    make_schemes,
+    make_setup,
+    run_comparison,
+)
+from .tables import Table2Result, run_table2, table1_rows, table3_rows
+
+__all__ = [
+    "AblationPoint",
+    "sweep_bandwidth_estimator",
+    "sweep_clustering_sigma",
+    "sweep_frame_rate_ladder",
+    "sweep_mpc_horizon",
+    "sweep_qoe_tolerance",
+    "sweep_viewport_predictor",
+    "BootstrapCI",
+    "PairedComparison",
+    "bootstrap_ci",
+    "compare_schemes",
+    "paired_comparison",
+    "Fig2Result",
+    "run_fig2",
+    "ReportConfig",
+    "generate_report",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "make_wide_cluster",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "PAPER_MEDIANS",
+    "run_fig8",
+    "EnergyComparison",
+    "run_fig9",
+    "summarize_energy",
+    "QoEComparison",
+    "run_fig11",
+    "summarize_qoe",
+    "format_normalized",
+    "format_row",
+    "format_table",
+    "print_lines",
+    "ExperimentSetup",
+    "SCHEME_ORDER",
+    "make_schemes",
+    "make_setup",
+    "run_comparison",
+    "Table2Result",
+    "run_table2",
+    "table1_rows",
+    "table3_rows",
+]

@@ -1,0 +1,301 @@
+"""Ablation studies over the design choices of Section IV.
+
+The paper fixes several design parameters (MPC horizon H = 5, QoE
+tolerance eps = 5 %, harmonic-mean bandwidth estimation, the
+{10, 20, 30} % frame-rate ladder, sigma = tile width with delta =
+sigma / 4).  These sweeps quantify what each choice buys:
+
+* :func:`sweep_mpc_horizon` — H = 1 disables lookahead; larger H
+  smooths bandwidth-prediction error (Section IV-C's motivation).
+* :func:`sweep_qoe_tolerance` — eps trades QoE for energy directly.
+* :func:`sweep_frame_rate_ladder` — no ladder reduces Ours to Ptile;
+  deeper ladders save more energy while Eq. 4 bounds the QoE cost.
+* :func:`sweep_bandwidth_estimator` — harmonic mean versus EWMA versus
+  last-sample, under the bursty LTE trace.
+* :func:`sweep_clustering_sigma` — the Fig. 6 trade-off: larger sigma
+  merges interests into oversized Ptiles, smaller sigma fragments them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.controller import OursScheme
+from ..core.optimizer import MpcConfig
+from ..power.models import DevicePowerModel, PIXEL_3
+from ..prediction.bandwidth import (
+    EwmaEstimator,
+    HarmonicMeanEstimator,
+    LastSampleEstimator,
+)
+from ..ptile.construction import PtileConfig, build_video_ptiles
+from ..ptile.coverage import coverage_stats
+from ..streaming.session import SessionConfig, run_session
+from ..video.framerate import FrameRateLadder
+from .setup import ExperimentSetup
+
+__all__ = [
+    "AblationPoint",
+    "sweep_mpc_horizon",
+    "sweep_qoe_tolerance",
+    "sweep_frame_rate_ladder",
+    "sweep_bandwidth_estimator",
+    "sweep_clustering_sigma",
+    "sweep_viewport_predictor",
+]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One configuration's outcome in a sweep."""
+
+    label: str
+    energy_per_segment_j: float
+    qoe: float
+    rebuffer_count: float
+    extra: dict | None = None
+
+    def report(self) -> str:
+        line = (
+            f"  {self.label:<22} E/seg {self.energy_per_segment_j:6.3f} J"
+            f"  QoE {self.qoe:6.2f}  rebuffers {self.rebuffer_count:4.1f}"
+        )
+        if self.extra:
+            line += "  " + " ".join(f"{k}={v:.3g}" for k, v in self.extra.items())
+        return line
+
+
+def _run_ours(
+    setup: ExperimentSetup,
+    device: DevicePowerModel,
+    scheme: OursScheme,
+    video_id: int,
+    users: int,
+    session_config: SessionConfig | None = None,
+) -> tuple[float, float, float, float]:
+    manifest = setup.manifest(video_id)
+    ptiles = setup.ptiles(video_id)
+    sessions = [
+        run_session(
+            scheme, manifest, trace, setup.trace2, device,
+            ptiles=ptiles, config=session_config or setup.session_config,
+        )
+        for trace in setup.dataset.test_traces(video_id)[:users]
+    ]
+    return (
+        float(np.mean([s.energy_per_segment_j for s in sessions])),
+        float(np.mean([s.mean_qoe for s in sessions])),
+        float(np.mean([s.rebuffer_count for s in sessions])),
+        float(np.mean([s.mean_frame_rate for s in sessions])),
+    )
+
+
+def sweep_mpc_horizon(
+    setup: ExperimentSetup,
+    horizons: tuple[int, ...] = (1, 2, 3, 5, 8),
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 8,
+    users: int = 2,
+) -> list[AblationPoint]:
+    """Energy/QoE versus the MPC lookahead H."""
+    points = []
+    for horizon in horizons:
+        scheme = OursScheme(device=device, mpc_config=MpcConfig(horizon=horizon))
+        config = replace(setup.session_config, horizon=horizon)
+        energy, qoe, rebuffers, fps = _run_ours(
+            setup, device, scheme, video_id, users, config
+        )
+        points.append(
+            AblationPoint(f"H={horizon}", energy, qoe, rebuffers,
+                          extra={"fps": fps})
+        )
+    return points
+
+
+def sweep_qoe_tolerance(
+    setup: ExperimentSetup,
+    tolerances: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10, 0.20),
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 8,
+    users: int = 2,
+) -> list[AblationPoint]:
+    """Energy/QoE versus the constraint (8c) tolerance epsilon."""
+    points = []
+    for eps in tolerances:
+        scheme = OursScheme(
+            device=device, mpc_config=MpcConfig(qoe_tolerance=eps)
+        )
+        energy, qoe, rebuffers, fps = _run_ours(
+            setup, device, scheme, video_id, users
+        )
+        points.append(
+            AblationPoint(f"eps={eps:.0%}", energy, qoe, rebuffers,
+                          extra={"fps": fps})
+        )
+    return points
+
+
+def sweep_frame_rate_ladder(
+    setup: ExperimentSetup,
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 5,
+    users: int = 2,
+) -> list[AblationPoint]:
+    """Ours with no / the paper's / a deeper frame-rate ladder."""
+    ladders = {
+        "no reduction": FrameRateLadder(reductions=()),
+        "paper {10,20,30}%": FrameRateLadder(),
+        "deep {20,40,60}%": FrameRateLadder(reductions=(0.6, 0.4, 0.2)),
+    }
+    points = []
+    for label, ladder in ladders.items():
+        scheme = OursScheme(device=device, ladder=ladder)
+        energy, qoe, rebuffers, fps = _run_ours(
+            setup, device, scheme, video_id, users
+        )
+        points.append(
+            AblationPoint(label, energy, qoe, rebuffers, extra={"fps": fps})
+        )
+    return points
+
+
+def sweep_bandwidth_estimator(
+    setup: ExperimentSetup,
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 8,
+    users: int = 2,
+) -> list[AblationPoint]:
+    """Harmonic mean (paper) versus EWMA versus last sample.
+
+    Estimators are compared on one-step-ahead prediction error over the
+    bursty trace 2, plus the resulting session metrics under Ours (which
+    always uses the harmonic mean internally; the error statistics are
+    the ablation's point).
+    """
+    bandwidths = setup.trace2.bandwidth_mbps
+    estimators = {
+        "harmonic (paper)": HarmonicMeanEstimator(window=5),
+        "ewma": EwmaEstimator(alpha=0.3),
+        "last sample": LastSampleEstimator(),
+    }
+    energy, qoe, rebuffers, _ = _run_ours(
+        setup, device, OursScheme(device=device), video_id, users
+    )
+    points = []
+    for label, estimator in estimators.items():
+        errors = []
+        over = []
+        for i in range(len(bandwidths) - 1):
+            estimator.add(float(bandwidths[i]))
+            predicted = estimator.estimate()
+            actual = float(bandwidths[i + 1])
+            errors.append(abs(predicted - actual) / actual)
+            over.append(predicted > actual)
+        points.append(
+            AblationPoint(
+                label,
+                energy,
+                qoe,
+                rebuffers,
+                extra={
+                    "mape": float(np.mean(errors)),
+                    "overestimates": float(np.mean(over)),
+                },
+            )
+        )
+    return points
+
+
+def sweep_clustering_sigma(
+    setup: ExperimentSetup,
+    sigma_factors: tuple[float, ...] = (0.5, 1.0, 2.0),
+    video_id: int = 8,
+) -> list[AblationPoint]:
+    """Ptile construction versus the cluster size bound sigma.
+
+    Reports the Fig. 7-style statistics: mean Ptiles per segment, user
+    coverage, and the mean Ptile area (the energy proxy the bound
+    controls).
+    """
+    video = setup.dataset.video(video_id)
+    train = setup.dataset.train_traces(video_id)
+    traces = setup.dataset.traces[video_id]
+    points = []
+    for factor in sigma_factors:
+        sigma = setup.grid.tile_width * factor
+        config = PtileConfig(sigma=sigma, delta=sigma / 4.0)
+        ptiles = build_video_ptiles(video, train, setup.grid, config)
+        stats = coverage_stats(video_id, ptiles, traces)
+        areas = [
+            p.area_fraction for sp in ptiles for p in sp.ptiles
+        ]
+        points.append(
+            AblationPoint(
+                f"sigma={sigma:.0f}deg",
+                energy_per_segment_j=float("nan"),
+                qoe=float("nan"),
+                rebuffer_count=0.0,
+                extra={
+                    "mean_ptiles": stats.mean_ptiles,
+                    "coverage": stats.covered_fraction,
+                    "mean_area": float(np.mean(areas)) if areas else 0.0,
+                },
+            )
+        )
+    return points
+
+
+def sweep_viewport_predictor(
+    setup: ExperimentSetup,
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 8,
+    users: int = 2,
+) -> list[AblationPoint]:
+    """Static persistence vs ridge regression (paper) vs a clairvoyant
+    oracle, measured by coverage of the actually-watched viewport.
+
+    The oracle bounds what better prediction could add; the static
+    baseline is what ridge must beat to justify itself.
+    """
+    from ..prediction.strategies import (
+        oracle_predictor_factory,
+        static_predictor_factory,
+    )
+
+    factories = {
+        "static (persist)": static_predictor_factory,
+        "ridge (paper)": None,
+        "oracle (bound)": oracle_predictor_factory,
+    }
+    manifest = setup.manifest(video_id)
+    ptiles = setup.ptiles(video_id)
+    points = []
+    for label, factory in factories.items():
+        config = replace(setup.session_config, predictor_factory=factory)
+        scheme = OursScheme(device=device)
+        sessions = [
+            run_session(
+                scheme, manifest, trace, setup.trace2, device,
+                ptiles=ptiles, config=config,
+            )
+            for trace in setup.dataset.test_traces(video_id)[:users]
+        ]
+        points.append(
+            AblationPoint(
+                label,
+                float(np.mean([s.energy_per_segment_j for s in sessions])),
+                float(np.mean([s.mean_qoe for s in sessions])),
+                float(np.mean([s.rebuffer_count for s in sessions])),
+                extra={
+                    "coverage": float(
+                        np.mean([s.mean_coverage for s in sessions])
+                    ),
+                    "hit": float(
+                        np.mean([s.ptile_hit_rate for s in sessions])
+                    ),
+                },
+            )
+        )
+    return points

@@ -1,0 +1,132 @@
+"""Fig. 2 — motivation: energy inefficiency of conventional tiling.
+
+(a) Transmission energy of the Ptile scheme normalized by the
+    conventional tile-based approach (paper: ~35 % saving) — the FoV
+    region encoded as one Ptile versus nine conventional tiles at the
+    highest quality, averaged over the dataset's segments.
+(b) Decoding time and power versus the number of concurrent decoders
+    (paper: 1.3 s / 241 mW at 1 decoder to 0.5 s / 846 mW at 9; the
+    Ptile needs 0.24 s / 287 mW).
+(c) Video-processing (decode + render) energy of the Ptile scheme
+    normalized by conventional schemes with 1..9 decoders (paper: 41 %
+    saving versus the best, 4-decoder, configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power.decoding import MultiDecoderModel, PIXEL3_DECODER_MODEL
+from ..power.models import PIXEL_3, DevicePowerModel
+from ..video.content import build_catalog
+from ..video.encoder import EncoderModel
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+_FOV_TILES = 9
+_FPS = 30.0
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """All three panels of Fig. 2."""
+
+    transmission_ratio: float  # panel (a): Ptile / Ctile, quality 5
+    decode_times_s: dict[int, float]  # panel (b)
+    decode_powers_mw: dict[int, float]  # panel (b)
+    ptile_decode_time_s: float
+    ptile_decode_power_mw: float
+    processing_ratio_vs_decoders: dict[int, float]  # panel (c)
+
+    @property
+    def transmission_saving(self) -> float:
+        return 1.0 - self.transmission_ratio
+
+    def processing_saving_vs(self, decoders: int) -> float:
+        return 1.0 - self.processing_ratio_vs_decoders[decoders]
+
+    def report(self) -> list[str]:
+        lines = [
+            "Fig. 2(a): Ptile transmission energy (normalized to Ctile): "
+            f"{self.transmission_ratio:.3f} (saving {self.transmission_saving:.1%};"
+            " paper: 35%)",
+            "Fig. 2(b): decoders -> (time s, power mW):",
+        ]
+        for d in sorted(self.decode_times_s):
+            lines.append(
+                f"  {d}: ({self.decode_times_s[d]:.2f} s,"
+                f" {self.decode_powers_mw[d]:.0f} mW)"
+            )
+        lines.append(
+            f"  Ptile: ({self.ptile_decode_time_s:.2f} s,"
+            f" {self.ptile_decode_power_mw:.0f} mW)"
+        )
+        best = min(
+            self.processing_ratio_vs_decoders,
+            key=lambda d: 1.0 / max(self.processing_ratio_vs_decoders[d], 1e-9),
+        )
+        lines.append(
+            "Fig. 2(c): Ptile processing energy normalized per decoder count: "
+            + ", ".join(
+                f"{d}:{r:.3f}"
+                for d, r in sorted(self.processing_ratio_vs_decoders.items())
+            )
+        )
+        lines.append(
+            f"  saving vs 4 decoders: {self.processing_saving_vs(4):.1%}"
+            " (paper: 41%)"
+        )
+        del best
+        return lines
+
+
+def run_fig2(
+    encoder: EncoderModel | None = None,
+    decoder_model: MultiDecoderModel = PIXEL3_DECODER_MODEL,
+    device: DevicePowerModel = PIXEL_3,
+    segments_per_video: int = 20,
+) -> Fig2Result:
+    """Reproduce the Fig. 2 motivation numbers."""
+    encoder = encoder or EncoderModel()
+    videos = build_catalog()
+
+    # Panel (a): FoV region at the top quality, Ptile vs separate tiles.
+    ratios = []
+    area = _FOV_TILES / encoder.grid.num_tiles
+    for video in videos:
+        n = video.num_segments
+        picks = np.unique(np.linspace(0, n - 1, min(segments_per_video, n)).astype(int))
+        for idx in picks:
+            seg = video.segment(int(idx))
+            ptile = encoder.region_size_mbit(
+                5, seg.si, seg.ti, area,
+                noise_key=(video.meta.video_id, int(idx), "fig2-ptile"),
+            )
+            ctile = encoder.tiled_region_size_mbit(
+                5, seg.si, seg.ti, _FOV_TILES,
+                noise_key=(video.meta.video_id, int(idx), "fig2-ctile"),
+            )
+            ratios.append(ptile / ctile)
+    transmission_ratio = float(np.median(ratios))
+
+    # Panel (b): the multi-decoder curves.
+    decode_times = {d: decoder_model.decode_time_s(d) for d in range(1, 10)}
+    decode_powers = {d: decoder_model.decode_power_mw(d) for d in range(1, 10)}
+
+    # Panel (c): decode energy + render energy over one segment.
+    render_j = device.rendering_mw(_FPS) * 1e-3  # 1-second segment
+    ptile_processing = decoder_model.ptile_energy_mj() * 1e-3 + render_j
+    processing_ratio = {
+        d: ptile_processing / (decoder_model.decode_energy_mj(d) * 1e-3 + render_j)
+        for d in range(1, 10)
+    }
+    return Fig2Result(
+        transmission_ratio=transmission_ratio,
+        decode_times_s=decode_times,
+        decode_powers_mw=decode_powers,
+        ptile_decode_time_s=decoder_model.ptile_time_s,
+        ptile_decode_power_mw=decoder_model.ptile_power_mw,
+        processing_ratio_vs_decoders=processing_ratio,
+    )

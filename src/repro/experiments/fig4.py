@@ -1,0 +1,98 @@
+"""Fig. 4 — content features and the fitted Q_o model.
+
+(a) The SI/TI scatter of the test-video segments (content spread).
+(b) The "original" quality Q_o (Eq. 3, Table II) as a function of SI,
+    TI, and bitrate — evaluated on a grid for the surface plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..qoe.quality import QualityModel
+from ..video.content import Video, build_catalog
+from ..video.encoder import EncoderModel
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Scatter points and Q_o surface."""
+
+    video_ids: tuple[int, ...]
+    si: np.ndarray  # per sampled segment
+    ti: np.ndarray
+    surface_bitrates: np.ndarray
+    surface_qo: np.ndarray  # shape (len(ti_grid), len(bitrate_grid))
+    ti_grid: np.ndarray
+    si_fixed: float
+
+    def report(self) -> list[str]:
+        lines = [
+            "Fig. 4(a): SI/TI ranges per video:",
+        ]
+        for vid in self.video_ids:
+            mask = self.video_of == vid
+            lines.append(
+                f"  video {vid}: SI {self.si[mask].mean():.1f}"
+                f" +/- {self.si[mask].std():.1f},"
+                f" TI {self.ti[mask].mean():.1f} +/- {self.ti[mask].std():.1f}"
+            )
+        lines.append(
+            f"Fig. 4(b): Q_o surface at SI={self.si_fixed:.0f}: rises with"
+            " bitrate, falls with TI"
+        )
+        lines.append(
+            "  Qo(min b, max TI) = "
+            f"{self.surface_qo[-1, 0]:.1f}; Qo(max b, min TI) = "
+            f"{self.surface_qo[0, -1]:.1f}"
+        )
+        return lines
+
+    @property
+    def video_of(self) -> np.ndarray:
+        # One block of samples per video, in catalog order.
+        per_video = len(self.si) // len(self.video_ids)
+        return np.repeat(self.video_ids, per_video)
+
+
+def run_fig4(
+    videos: tuple[Video, ...] | None = None,
+    quality_model: QualityModel | None = None,
+    encoder: EncoderModel | None = None,
+    segments_per_video: int = 30,
+    si_fixed: float = 33.0,
+) -> Fig4Result:
+    """Sample the SI/TI scatter and evaluate the Q_o surface."""
+    videos = videos or build_catalog()
+    quality_model = quality_model or QualityModel()
+    encoder = encoder or EncoderModel()
+
+    si_list: list[float] = []
+    ti_list: list[float] = []
+    for video in videos:
+        n = video.num_segments
+        picks = np.linspace(0, n - 1, segments_per_video).astype(int)
+        for idx in picks:
+            seg = video.segment(int(idx))
+            si_list.append(seg.si)
+            ti_list.append(seg.ti)
+
+    ti_grid = np.linspace(4.0, 24.0, 11)
+    bitrates = np.linspace(0.5, 8.0, 16)  # perceptual (Eq. 3) bitrate axis
+    surface = np.empty((ti_grid.size, bitrates.size))
+    for i, ti in enumerate(ti_grid):
+        surface[i] = quality_model.qo_array(si_fixed, ti, bitrates)
+
+    return Fig4Result(
+        video_ids=tuple(v.meta.video_id for v in videos),
+        si=np.array(si_list),
+        ti=np.array(ti_list),
+        surface_bitrates=bitrates,
+        surface_qo=surface,
+        ti_grid=ti_grid,
+        si_fixed=si_fixed,
+    )

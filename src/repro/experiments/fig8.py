@@ -1,0 +1,84 @@
+"""Fig. 8 — Ptile versus conventional tiles, encoded size.
+
+For each video segment, the size of the Ptile covering the FoV region
+is compared with the total size of the conventional tiles covering the
+same area, at every quality level.  The paper reports median ratios of
+62 / 57 / 47 / 35 / 27 % at quality 5..1 — the very numbers the encoder
+model is calibrated against, so this experiment doubles as a
+calibration check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..video.content import Video, build_catalog
+from ..video.encoder import EncoderModel, QUALITY_LEVELS
+
+__all__ = ["Fig8Result", "run_fig8", "PAPER_MEDIANS"]
+
+PAPER_MEDIANS = {5: 0.62, 4: 0.57, 3: 0.47, 2: 0.35, 1: 0.27}
+"""Median normalized Ptile sizes the paper reports per quality level."""
+
+_FOV_TILES = 9
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Normalized-size samples per quality level."""
+
+    ratios: dict[int, np.ndarray]
+
+    def median(self, quality: int) -> float:
+        return float(np.median(self.ratios[quality]))
+
+    def cdf(self, quality: int, grid: np.ndarray | None = None):
+        if grid is None:
+            grid = np.linspace(0.0, 1.2, 121)
+        data = np.sort(self.ratios[quality])
+        return grid, np.searchsorted(data, grid, side="right") / data.size
+
+    def report(self) -> list[str]:
+        lines = ["Fig. 8: normalized Ptile data size (median per quality)"]
+        for q in sorted(self.ratios, reverse=True):
+            lines.append(
+                f"  quality {q}: median {self.median(q):.3f}"
+                f" (paper: {PAPER_MEDIANS[q]:.2f}),"
+                f" bandwidth saving {1 - self.median(q):.1%}"
+            )
+        return lines
+
+
+def run_fig8(
+    videos: tuple[Video, ...] | None = None,
+    encoder: EncoderModel | None = None,
+    segments_per_video: int | None = None,
+) -> Fig8Result:
+    """Compute the per-segment Ptile/Ctile size ratios."""
+    videos = videos or build_catalog()
+    encoder = encoder or EncoderModel()
+    area = _FOV_TILES / encoder.grid.num_tiles
+    ratios: dict[int, list[float]] = {q: [] for q in QUALITY_LEVELS}
+    for video in videos:
+        n = video.num_segments
+        if segments_per_video is None:
+            picks = range(n)
+        else:
+            picks = np.unique(
+                np.linspace(0, n - 1, min(segments_per_video, n)).astype(int)
+            )
+        for idx in picks:
+            seg = video.segment(int(idx))
+            for q in QUALITY_LEVELS:
+                ptile = encoder.region_size_mbit(
+                    q, seg.si, seg.ti, area,
+                    noise_key=(video.meta.video_id, int(idx), "fig8-ptile"),
+                )
+                ctile = encoder.tiled_region_size_mbit(
+                    q, seg.si, seg.ti, _FOV_TILES,
+                    noise_key=(video.meta.video_id, int(idx), "fig8-ctile"),
+                )
+                ratios[q].append(ptile / ctile)
+    return Fig8Result(ratios={q: np.array(v) for q, v in ratios.items()})

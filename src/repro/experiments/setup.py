@@ -1,0 +1,169 @@
+"""Standard experiment setup (paper Section V-A).
+
+Builds the evaluation inputs every figure shares — the video catalog
+with manifests, head-movement dataset with its train/test split, the two
+network traces, per-video Ptiles and Ftile partitions — and provides the
+session matrix runner that Figs. 9-11 slice.
+
+Scale control: the paper's full evaluation streams every test user over
+every full-length video; for quick runs ``max_duration_s`` truncates
+videos and ``users_per_video`` limits the test users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.controller import OursScheme
+from ..geometry.tiling import DEFAULT_GRID, TileGrid
+from ..power.models import DevicePowerModel, PIXEL_3
+from ..ptile.construction import PtileConfig, SegmentPtiles, build_video_ptiles
+from ..streaming.ftile import FtilePartition, build_video_ftiles
+from ..streaming.metrics import SessionResult
+from ..streaming.schemes import (
+    CtileScheme,
+    FtileScheme,
+    NontileScheme,
+    PtileScheme,
+    StreamingScheme,
+)
+from ..streaming.session import SessionConfig, run_session
+from ..traces.dataset import EvaluationDataset, build_dataset
+from ..traces.network import NetworkTrace, paper_traces
+from ..video.content import Video
+from ..video.encoder import EncoderModel
+from ..video.segments import VideoManifest
+
+__all__ = ["ExperimentSetup", "make_setup", "SCHEME_ORDER", "make_schemes",
+           "run_comparison"]
+
+SCHEME_ORDER = ("ctile", "ftile", "nontile", "ptile", "ours")
+"""The schemes of Section V-A, in the paper's presentation order."""
+
+
+@dataclass
+class ExperimentSetup:
+    """Shared inputs for all evaluation experiments."""
+
+    dataset: EvaluationDataset
+    encoder: EncoderModel
+    trace1: NetworkTrace
+    trace2: NetworkTrace
+    grid: TileGrid = DEFAULT_GRID
+    ptile_config: PtileConfig = field(default_factory=PtileConfig)
+    session_config: SessionConfig = field(default_factory=SessionConfig)
+    _manifests: dict[int, VideoManifest] = field(default_factory=dict, repr=False)
+    _ptiles: dict[int, list[SegmentPtiles]] = field(default_factory=dict, repr=False)
+    _ftiles: dict[int, list[FtilePartition]] = field(default_factory=dict, repr=False)
+
+    @property
+    def videos(self) -> tuple[Video, ...]:
+        return self.dataset.videos
+
+    def manifest(self, video_id: int) -> VideoManifest:
+        if video_id not in self._manifests:
+            self._manifests[video_id] = VideoManifest(
+                self.dataset.video(video_id), self.encoder
+            )
+        return self._manifests[video_id]
+
+    def ptiles(self, video_id: int) -> list[SegmentPtiles]:
+        if video_id not in self._ptiles:
+            self._ptiles[video_id] = build_video_ptiles(
+                self.dataset.video(video_id),
+                self.dataset.train_traces(video_id),
+                self.grid,
+                self.ptile_config,
+            )
+        return self._ptiles[video_id]
+
+    def ftiles(self, video_id: int) -> list[FtilePartition]:
+        if video_id not in self._ftiles:
+            self._ftiles[video_id] = build_video_ftiles(
+                self.dataset.video(video_id),
+                self.dataset.train_traces(video_id),
+            )
+        return self._ftiles[video_id]
+
+    def traces(self) -> dict[str, NetworkTrace]:
+        return {"trace1": self.trace1, "trace2": self.trace2}
+
+
+def make_setup(
+    max_duration_s: int | None = None,
+    n_users: int = 48,
+    n_train: int = 40,
+    seed: int = 2017,
+    video_ids: tuple[int, ...] | None = None,
+) -> ExperimentSetup:
+    """Build the standard experiment setup."""
+    dataset = build_dataset(
+        n_users=n_users,
+        n_train=n_train,
+        seed=seed,
+        video_ids=video_ids,
+        max_duration_s=max_duration_s,
+    )
+    trace1, trace2 = paper_traces()
+    return ExperimentSetup(
+        dataset=dataset,
+        encoder=EncoderModel(),
+        trace1=trace1,
+        trace2=trace2,
+    )
+
+
+def make_schemes(device: DevicePowerModel = PIXEL_3) -> dict[str, StreamingScheme]:
+    """The five compared schemes, keyed by name."""
+    return {
+        "ctile": CtileScheme(),
+        "ftile": FtileScheme(),
+        "nontile": NontileScheme(),
+        "ptile": PtileScheme(),
+        "ours": OursScheme(device=device),
+    }
+
+
+def run_comparison(
+    setup: ExperimentSetup,
+    device: DevicePowerModel = PIXEL_3,
+    users_per_video: int | None = None,
+    video_ids: tuple[int, ...] | None = None,
+    scheme_names: tuple[str, ...] = SCHEME_ORDER,
+) -> dict[tuple[str, str, int], list[SessionResult]]:
+    """Run the full session matrix of Section V-C.
+
+    Returns ``{(trace_name, scheme_name, video_id): [SessionResult]}``
+    with one result per test user.  This single matrix backs Fig. 9
+    (energy, Pixel 3), Fig. 10 (other devices) and Fig. 11 (QoE).
+    """
+    schemes = make_schemes(device)
+    unknown = set(scheme_names) - set(schemes)
+    if unknown:
+        raise KeyError(f"unknown schemes {sorted(unknown)}")
+    wanted = video_ids or tuple(v.meta.video_id for v in setup.videos)
+    results: dict[tuple[str, str, int], list[SessionResult]] = {}
+    for vid in wanted:
+        manifest = setup.manifest(vid)
+        ptiles = setup.ptiles(vid)
+        ftiles = setup.ftiles(vid)
+        test_traces = setup.dataset.test_traces(vid)
+        if users_per_video is not None:
+            test_traces = test_traces[:users_per_video]
+        for trace_name, network in setup.traces().items():
+            for name in scheme_names:
+                key = (trace_name, name, vid)
+                results[key] = [
+                    run_session(
+                        schemes[name],
+                        manifest,
+                        head_trace,
+                        network,
+                        device,
+                        ptiles=ptiles,
+                        ftiles=ftiles,
+                        config=setup.session_config,
+                    )
+                    for head_trace in test_traces
+                ]
+    return results

@@ -1,0 +1,98 @@
+"""Tables I-III of the paper.
+
+Table I — the measured power models (embedded constants, printed in the
+paper's layout).  Table II — the Q_o coefficients, re-fitted through the
+full pipeline (synthetic VMAF oracle + nonlinear least squares).
+Table III — the test-video catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power.models import DEVICES, TilingScheme
+from ..qoe.fitting import FitResult, VMAFOracle, build_training_set, fit_qo_model
+from ..qoe.quality import TABLE_II
+from ..video.content import VIDEO_CATALOG
+from ..video.encoder import EncoderModel
+
+__all__ = ["table1_rows", "run_table2", "table3_rows", "Table2Result"]
+
+
+def table1_rows() -> list[str]:
+    """Table I in the paper's layout (power in mW, f in fps)."""
+    lines = ["Table I: power models (mW)"]
+    names = list(DEVICES)
+    header = f"{'state':<28}" + "".join(f"{DEVICES[n].name:>22}" for n in names)
+    lines.append(header)
+    row = f"{'data transmission P_t':<28}"
+    for n in names:
+        row += f"{DEVICES[n].transmission_mw:>22.2f}"
+    lines.append(row)
+    for scheme in TilingScheme:
+        row = f"{'decode P_d ' + scheme.value:<28}"
+        for n in names:
+            model = DEVICES[n].decoding[scheme]
+            row += f"{model.base_mw:>13.2f}+{model.slope_mw_per_fps:.2f}f"
+        lines.append(row)
+    row = f"{'render P_r':<28}"
+    for n in names:
+        model = DEVICES[n].rendering
+        row += f"{model.base_mw:>13.2f}+{model.slope_mw_per_fps:.2f}f"
+    lines.append(row)
+    return lines
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Outcome of re-fitting the Q_o model."""
+
+    fit: FitResult
+    coefficient_errors: dict[str, float]
+
+    def report(self) -> list[str]:
+        c = self.fit.coefficients
+        lines = [
+            "Table II: fitted Q_o coefficients (paper values in parens)",
+            f"  c1 = {c.c1:+.4f} ({TABLE_II.c1:+.4f})",
+            f"  c2 = {c.c2:+.4f} ({TABLE_II.c2:+.4f})",
+            f"  c3 = {c.c3:+.4f} ({TABLE_II.c3:+.4f})",
+            f"  c4 = {c.c4:+.4f} ({TABLE_II.c4:+.4f})",
+            f"  Pearson r = {self.fit.pearson_r:.4f} (paper: 0.9791)",
+            f"  samples: {self.fit.n_samples}",
+        ]
+        return lines
+
+
+def run_table2(
+    encoder: EncoderModel | None = None,
+    oracle: VMAFOracle | None = None,
+    segments_per_video: int = 10,
+) -> Table2Result:
+    """Re-fit the Table II coefficients through the full pipeline."""
+    from ..video.content import build_catalog
+
+    encoder = encoder or EncoderModel()
+    oracle = oracle or VMAFOracle()
+    videos = build_catalog()
+    si, ti, b = build_training_set(videos, encoder, segments_per_video)
+    vmaf = oracle.measure(si, ti, b)
+    fit = fit_qo_model(si, ti, b, vmaf)
+    truth = TABLE_II.as_array()
+    fitted = fit.coefficients.as_array()
+    errors = dict(zip(("c1", "c2", "c3", "c4"), np.abs(fitted - truth)))
+    return Table2Result(fit=fit, coefficient_errors=errors)
+
+
+def table3_rows() -> list[str]:
+    """Table III: the eight test videos."""
+    lines = ["Table III: test videos"]
+    for meta in VIDEO_CATALOG:
+        minutes, seconds = divmod(meta.duration_s, 60)
+        lines.append(
+            f"  {meta.video_id}: {meta.title:<18} {minutes}:{seconds:02d}"
+            f"  ({meta.behavior})"
+        )
+    return lines

@@ -1,0 +1,53 @@
+"""Geometry substrate: spherical math, viewports, tile grids, projection."""
+
+from .projection import EquirectFrame, ViewRenderer
+from .quaternion import (
+    angles_to_quaternion,
+    quaternion_conjugate,
+    quaternion_multiply,
+    quaternion_normalize,
+    quaternion_rotate,
+    quaternion_slerp,
+    quaternion_to_angles,
+    quaternion_to_direction,
+)
+from .sphere import (
+    angular_distance,
+    clamp_pitch,
+    equirect_distance,
+    orientation_angles,
+    orientation_vector,
+    switching_speed,
+    switching_speed_series,
+    wrap_yaw,
+)
+from .tiling import DEFAULT_GRID, FTILE_BLOCK_GRID, Tile, TileGrid
+from .viewport import DEFAULT_FOV_DEG, Rect, Viewport
+
+__all__ = [
+    "EquirectFrame",
+    "ViewRenderer",
+    "angles_to_quaternion",
+    "quaternion_conjugate",
+    "quaternion_multiply",
+    "quaternion_normalize",
+    "quaternion_rotate",
+    "quaternion_slerp",
+    "quaternion_to_angles",
+    "quaternion_to_direction",
+    "angular_distance",
+    "clamp_pitch",
+    "equirect_distance",
+    "orientation_angles",
+    "orientation_vector",
+    "switching_speed",
+    "switching_speed_series",
+    "wrap_yaw",
+    "DEFAULT_GRID",
+    "FTILE_BLOCK_GRID",
+    "Tile",
+    "TileGrid",
+    "DEFAULT_FOV_DEG",
+    "Rect",
+    "Viewport",
+]

@@ -1,0 +1,168 @@
+"""Spherical geometry for 360-degree video viewing directions.
+
+A viewing direction is described either as a pair of angles
+``(yaw, pitch)`` in degrees or as a 3D unit *orientation vector*.
+
+* ``yaw`` (longitude) is the horizontal angle in ``[0, 360)`` degrees,
+  increasing eastwards, with 0 at the center of the equirectangular frame.
+* ``pitch`` (latitude) is the vertical angle in ``[-90, +90]`` degrees,
+  positive above the equator.
+
+The paper (Section III-C, Eq. 5) computes the *view switching speed* from
+consecutive orientation vectors::
+
+    S_fov = arccos(o1 . o2 / (|o1| |o2|)) / (t2 - t1)
+
+expressed in degrees per second.  This module provides the orientation
+vector conversion, great-circle (angular) distances, and vectorized
+switching-speed computation used throughout the library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "wrap_yaw",
+    "clamp_pitch",
+    "orientation_vector",
+    "orientation_angles",
+    "angular_distance",
+    "equirect_distance",
+    "switching_speed",
+    "switching_speed_series",
+]
+
+
+def wrap_yaw(yaw: float | np.ndarray) -> float | np.ndarray:
+    """Wrap a yaw angle (degrees) into the canonical range ``[0, 360)``.
+
+    Works on scalars and numpy arrays alike.
+    """
+    return np.asarray(yaw) % 360.0 if isinstance(yaw, np.ndarray) else yaw % 360.0
+
+
+def clamp_pitch(pitch: float | np.ndarray) -> float | np.ndarray:
+    """Clamp a pitch angle (degrees) into ``[-90, +90]``."""
+    if isinstance(pitch, np.ndarray):
+        return np.clip(pitch, -90.0, 90.0)
+    return max(-90.0, min(90.0, pitch))
+
+
+def orientation_vector(yaw: float, pitch: float) -> np.ndarray:
+    """Convert ``(yaw, pitch)`` in degrees to a 3D unit orientation vector.
+
+    The convention is x towards ``yaw=0`` on the equator, y towards
+    ``yaw=90`` on the equator, and z towards the north pole
+    (``pitch=+90``).
+
+    >>> orientation_vector(0.0, 0.0)
+    array([1., 0., 0.])
+    """
+    yaw_rad = math.radians(yaw)
+    pitch_rad = math.radians(pitch)
+    cos_pitch = math.cos(pitch_rad)
+    return np.array(
+        [
+            cos_pitch * math.cos(yaw_rad),
+            cos_pitch * math.sin(yaw_rad),
+            math.sin(pitch_rad),
+        ]
+    )
+
+
+def orientation_angles(vector: Sequence[float]) -> tuple[float, float]:
+    """Convert a 3D orientation vector back to ``(yaw, pitch)`` degrees.
+
+    The vector does not need to be normalized.  Raises ``ValueError`` for
+    the zero vector, which has no direction.
+    """
+    x, y, z = float(vector[0]), float(vector[1]), float(vector[2])
+    norm = math.sqrt(x * x + y * y + z * z)
+    if norm == 0.0:
+        raise ValueError("zero vector has no orientation")
+    pitch = math.degrees(math.asin(max(-1.0, min(1.0, z / norm))))
+    yaw = math.degrees(math.atan2(y, x)) % 360.0
+    return yaw, pitch
+
+
+def angular_distance(
+    yaw1: float, pitch1: float, yaw2: float, pitch2: float
+) -> float:
+    """Great-circle angle (degrees) between two viewing directions.
+
+    This is the ``arccos`` term of Eq. 5 in the paper, evaluated for unit
+    orientation vectors.
+    """
+    o1 = orientation_vector(yaw1, pitch1)
+    o2 = orientation_vector(yaw2, pitch2)
+    dot = float(np.dot(o1, o2))
+    return math.degrees(math.acos(max(-1.0, min(1.0, dot))))
+
+
+def equirect_distance(
+    yaw1: float, pitch1: float, yaw2: float, pitch2: float
+) -> float:
+    """Euclidean distance (degrees) between two viewing centers.
+
+    Distances between viewing centers in the Ptile clustering algorithm
+    (Section IV-A) are planar Euclidean distances on the equirectangular
+    frame; the horizontal axis wraps around at 360 degrees so that two
+    users looking across the seam are still considered close.
+    """
+    dyaw = abs(yaw1 % 360.0 - yaw2 % 360.0)
+    dyaw = min(dyaw, 360.0 - dyaw)
+    dpitch = pitch1 - pitch2
+    return math.hypot(dyaw, dpitch)
+
+
+def switching_speed(
+    yaw1: float,
+    pitch1: float,
+    t1: float,
+    yaw2: float,
+    pitch2: float,
+    t2: float,
+) -> float:
+    """View switching speed in degrees per second (paper Eq. 5).
+
+    ``t1`` and ``t2`` are timestamps in seconds; ``t2`` must be strictly
+    after ``t1``.
+    """
+    if t2 <= t1:
+        raise ValueError(f"timestamps must be increasing, got {t1} -> {t2}")
+    return angular_distance(yaw1, pitch1, yaw2, pitch2) / (t2 - t1)
+
+
+def switching_speed_series(
+    timestamps: Iterable[float],
+    yaws: Iterable[float],
+    pitches: Iterable[float],
+) -> np.ndarray:
+    """Vectorized switching speed for a sampled head-orientation series.
+
+    Returns an array of length ``n - 1`` where element ``i`` is the
+    switching speed between samples ``i`` and ``i + 1`` in degrees per
+    second.  Raises ``ValueError`` if the series is shorter than two
+    samples or timestamps are not strictly increasing.
+    """
+    t = np.asarray(list(timestamps), dtype=float)
+    yaw = np.radians(np.asarray(list(yaws), dtype=float))
+    pitch = np.radians(np.asarray(list(pitches), dtype=float))
+    if t.size < 2:
+        raise ValueError("need at least two samples")
+    dt = np.diff(t)
+    if np.any(dt <= 0):
+        raise ValueError("timestamps must be strictly increasing")
+
+    cos_pitch = np.cos(pitch)
+    vecs = np.stack(
+        [cos_pitch * np.cos(yaw), cos_pitch * np.sin(yaw), np.sin(pitch)],
+        axis=1,
+    )
+    dots = np.clip(np.sum(vecs[:-1] * vecs[1:], axis=1), -1.0, 1.0)
+    angles = np.degrees(np.arccos(dots))
+    return angles / dt

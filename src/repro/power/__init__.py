@@ -1,0 +1,32 @@
+"""Power substrate: Table I device models, decoder scaling, Eq. 1 energy."""
+
+from .battery import BatteryModel, TYPICAL_PHONE_BATTERY
+from .decoding import MultiDecoderModel, PIXEL3_DECODER_MODEL
+from .energy import EnergyModel, SegmentEnergy
+from .models import (
+    DEVICES,
+    DevicePowerModel,
+    GALAXY_S20,
+    LinearPower,
+    NEXUS_5X,
+    PIXEL_3,
+    TilingScheme,
+    get_device,
+)
+
+__all__ = [
+    "BatteryModel",
+    "TYPICAL_PHONE_BATTERY",
+    "MultiDecoderModel",
+    "PIXEL3_DECODER_MODEL",
+    "EnergyModel",
+    "SegmentEnergy",
+    "DEVICES",
+    "DevicePowerModel",
+    "GALAXY_S20",
+    "LinearPower",
+    "NEXUS_5X",
+    "PIXEL_3",
+    "TilingScheme",
+    "get_device",
+]

@@ -1,0 +1,82 @@
+"""Multi-decoder decoding time / power model (paper Fig. 2(b)).
+
+Conventional tile-based streaming decodes the ~9 FoV tiles of a segment
+with multiple concurrent hardware decoders.  The paper's Pixel 3
+measurements show the trade-off: more decoders cut decoding time
+(1.3 s with 1 decoder down to 0.5 s with 9, ~2.5x) but inflate power
+(241 mW up to 846 mW, ~3.5x) because of pipeline complexity and CPU
+context switching.  The Ptile needs a single decoder and achieves both
+low time (0.24 s) and low power (287 mW).
+
+We model both curves as power laws fitted through the measured
+endpoints, which interpolates the intermediate decoder counts shown in
+the figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MultiDecoderModel", "PIXEL3_DECODER_MODEL"]
+
+
+@dataclass(frozen=True)
+class MultiDecoderModel:
+    """Decoding time/power versus the number of concurrent decoders.
+
+    ``time(d) = time_1 * d**-time_exp`` and
+    ``power(d) = power_1 * d**power_exp`` for ``d`` decoders, with a
+    separate single-decoder operating point for the Ptile (one large
+    tile instead of many small ones).
+    """
+
+    time_1_s: float = 1.3
+    time_9_s: float = 0.5
+    power_1_mw: float = 241.0
+    power_9_mw: float = 846.0
+    ptile_time_s: float = 0.24
+    ptile_power_mw: float = 287.0
+
+    def __post_init__(self) -> None:
+        if min(self.time_1_s, self.time_9_s, self.power_1_mw, self.power_9_mw) <= 0:
+            raise ValueError("times and powers must be positive")
+        if self.time_9_s >= self.time_1_s:
+            raise ValueError("decoding time must fall as decoders increase")
+        if self.power_9_mw <= self.power_1_mw:
+            raise ValueError("decoding power must rise as decoders increase")
+
+    @property
+    def _time_exponent(self) -> float:
+        return -math.log(self.time_9_s / self.time_1_s) / math.log(9.0)
+
+    @property
+    def _power_exponent(self) -> float:
+        return math.log(self.power_9_mw / self.power_1_mw) / math.log(9.0)
+
+    def decode_time_s(self, decoders: int) -> float:
+        """Time (s) to decode one segment's FoV tiles with d decoders."""
+        self._check(decoders)
+        return self.time_1_s * decoders ** (-self._time_exponent)
+
+    def decode_power_mw(self, decoders: int) -> float:
+        """Decoding power (mW) sustained while decoding with d decoders."""
+        self._check(decoders)
+        return self.power_1_mw * decoders**self._power_exponent
+
+    def decode_energy_mj(self, decoders: int) -> float:
+        """Energy (mJ) to decode one segment's FoV tiles with d decoders."""
+        return self.decode_time_s(decoders) * self.decode_power_mw(decoders)
+
+    def ptile_energy_mj(self) -> float:
+        """Energy (mJ) to decode the same region encoded as one Ptile."""
+        return self.ptile_time_s * self.ptile_power_mw
+
+    @staticmethod
+    def _check(decoders: int) -> None:
+        if decoders < 1:
+            raise ValueError("need at least one decoder")
+
+
+PIXEL3_DECODER_MODEL = MultiDecoderModel()
+"""Fig. 2(b) measurements on the Google Pixel 3."""

@@ -1,0 +1,136 @@
+"""Device power models (paper Table I).
+
+The paper measures three smartphones (LG Nexus 5X, Google Pixel 3,
+Samsung Galaxy S20) with a Monsoon power monitor through a custom
+battery interceptor, and fits linear-in-frame-rate models for three
+power components (Section III-B):
+
+* ``P_t`` — wireless data transmission (mW, constant),
+* ``P_d(f)`` — video decoding (mW, per tiling scheme),
+* ``P_r(f)`` — view rendering (mW).
+
+All evaluation energy numbers in the paper are computed from these
+fitted models, which this module embeds verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "TilingScheme",
+    "LinearPower",
+    "DevicePowerModel",
+    "NEXUS_5X",
+    "PIXEL_3",
+    "GALAXY_S20",
+    "DEVICES",
+    "get_device",
+]
+
+
+class TilingScheme(str, Enum):
+    """Tiling schemes with distinct decoding pipelines (Table I rows)."""
+
+    CTILE = "ctile"
+    FTILE = "ftile"
+    NONTILE = "nontile"
+    PTILE = "ptile"
+
+
+@dataclass(frozen=True)
+class LinearPower:
+    """A linear power model ``P(f) = base + slope * f`` in milliwatts."""
+
+    base_mw: float
+    slope_mw_per_fps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_mw < 0:
+            raise ValueError("base power must be non-negative")
+
+    def at(self, frame_rate: float) -> float:
+        """Power in mW at the given frame rate (fps)."""
+        if frame_rate < 0:
+            raise ValueError("frame rate must be non-negative")
+        return self.base_mw + self.slope_mw_per_fps * frame_rate
+
+
+@dataclass(frozen=True)
+class DevicePowerModel:
+    """Table I power model for one smartphone."""
+
+    name: str
+    transmission: LinearPower
+    decoding: dict[TilingScheme, LinearPower]
+    rendering: LinearPower
+
+    def __post_init__(self) -> None:
+        missing = set(TilingScheme) - set(self.decoding)
+        if missing:
+            raise ValueError(f"missing decoding models for {sorted(missing)}")
+
+    @property
+    def transmission_mw(self) -> float:
+        """Data-transmission power P_t (mW); frame-rate independent."""
+        return self.transmission.at(0.0)
+
+    def decoding_mw(self, scheme: TilingScheme, frame_rate: float) -> float:
+        """Decoding power P_d(f) in mW for a tiling scheme."""
+        return self.decoding[TilingScheme(scheme)].at(frame_rate)
+
+    def rendering_mw(self, frame_rate: float) -> float:
+        """View-rendering power P_r(f) in mW."""
+        return self.rendering.at(frame_rate)
+
+
+NEXUS_5X = DevicePowerModel(
+    name="Nexus 5X",
+    transmission=LinearPower(1709.12),
+    decoding={
+        TilingScheme.CTILE: LinearPower(1160.41, 16.53),
+        TilingScheme.FTILE: LinearPower(832.45, 15.31),
+        TilingScheme.NONTILE: LinearPower(447.17, 14.51),
+        TilingScheme.PTILE: LinearPower(210.65, 5.55),
+    },
+    rendering=LinearPower(79.46, 11.74),
+)
+
+PIXEL_3 = DevicePowerModel(
+    name="Pixel 3",
+    transmission=LinearPower(1429.08),
+    decoding={
+        TilingScheme.CTILE: LinearPower(574.89, 15.46),
+        TilingScheme.FTILE: LinearPower(386.45, 13.23),
+        TilingScheme.NONTILE: LinearPower(209.92, 10.95),
+        TilingScheme.PTILE: LinearPower(140.73, 5.96),
+    },
+    rendering=LinearPower(57.76, 4.19),
+)
+
+GALAXY_S20 = DevicePowerModel(
+    name="Galaxy S20",
+    transmission=LinearPower(1527.39),
+    decoding={
+        TilingScheme.CTILE: LinearPower(798.99, 16.49),
+        TilingScheme.FTILE: LinearPower(658.41, 14.69),
+        TilingScheme.NONTILE: LinearPower(305.55, 11.41),
+        TilingScheme.PTILE: LinearPower(152.72, 6.13),
+    },
+    rendering=LinearPower(108.21, 3.98),
+)
+
+DEVICES: dict[str, DevicePowerModel] = {
+    "nexus5x": NEXUS_5X,
+    "pixel3": PIXEL_3,
+    "galaxys20": GALAXY_S20,
+}
+
+
+def get_device(name: str) -> DevicePowerModel:
+    """Look up a device model by short name (case/space insensitive)."""
+    key = name.lower().replace(" ", "").replace("-", "").replace("_", "")
+    if key in DEVICES:
+        return DEVICES[key]
+    raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}")

@@ -1,0 +1,26 @@
+"""Prediction substrate: viewport (ridge regression) and bandwidth."""
+
+from .bandwidth import EwmaEstimator, HarmonicMeanEstimator, LastSampleEstimator
+from .strategies import (
+    OraclePredictor,
+    PredictorProtocol,
+    StaticPredictor,
+    oracle_predictor_factory,
+    ridge_predictor_factory,
+    static_predictor_factory,
+)
+from .viewport import RidgeRegressor, ViewportPredictor
+
+__all__ = [
+    "EwmaEstimator",
+    "HarmonicMeanEstimator",
+    "LastSampleEstimator",
+    "OraclePredictor",
+    "PredictorProtocol",
+    "StaticPredictor",
+    "oracle_predictor_factory",
+    "ridge_predictor_factory",
+    "static_predictor_factory",
+    "RidgeRegressor",
+    "ViewportPredictor",
+]

@@ -1,0 +1,164 @@
+"""Viewport prediction with ridge regression (paper Section IV-B).
+
+The client predicts the viewing center of the segment it is about to
+download from the user's most recent head-movement history.  The paper
+uses ridge regression on the recorded (x, y) coordinate time series
+because it resists overfitting the short, noisy history window.
+
+:class:`RidgeRegressor` is a small closed-form ridge implementation;
+:class:`ViewportPredictor` feeds it time-indexed yaw/pitch histories and
+extrapolates to the playback time of the next segment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.viewport import DEFAULT_FOV_DEG, Viewport
+
+__all__ = ["RidgeRegressor", "ViewportPredictor"]
+
+
+class RidgeRegressor:
+    """Closed-form ridge regression ``w = (X'X + lam*I)^-1 X'y``.
+
+    The intercept column is never regularized.
+    """
+
+    def __init__(self, lam: float = 1.0):
+        if lam < 0:
+            raise ValueError("regularization strength must be non-negative")
+        self.lam = lam
+        self._weights: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("regressor is not fitted")
+        return self._weights
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegressor":
+        """Fit on a design matrix (intercept added automatically)."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("feature/target row mismatch")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        penalty = self.lam * np.eye(design.shape[1])
+        penalty[0, 0] = 0.0  # free intercept
+        gram = design.T @ design + penalty
+        self._weights = np.linalg.solve(gram, design.T @ y)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        return design @ self.weights
+
+
+@dataclass
+class ViewportPredictor:
+    """Predicts the future viewing center from recent head history.
+
+    Maintains a sliding window of (t, yaw, pitch) observations (yaw
+    unwrapped by the caller or internally continuous) and extrapolates
+    each coordinate with a ridge-regularized linear trend — the
+    coordinates of the most recent segments correlate strongly with the
+    next one (paper Section IV-B).
+    """
+
+    window_s: float = 2.0
+    lam: float = 1.0
+    max_trend_deg_s: float = 120.0
+    max_extrapolation_s: float = 1.2
+    fov_deg: float = DEFAULT_FOV_DEG
+    _history: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window must be positive")
+
+    def observe(self, t: float, yaw: float, pitch: float) -> None:
+        """Record a head sample; yaw is unwrapped against the history."""
+        if self._history:
+            last_t, last_yaw, _ = self._history[-1]
+            if t <= last_t:
+                raise ValueError("observations must be time-ordered")
+            # Unwrap: choose the representation closest to the last yaw.
+            delta = (yaw - last_yaw + 180.0) % 360.0 - 180.0
+            yaw = last_yaw + delta
+        self._history.append((t, yaw, float(np.clip(pitch, -90.0, 90.0))))
+        cutoff = t - self.window_s
+        while self._history and self._history[0][0] < cutoff:
+            self._history.popleft()
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._history)
+
+    def predict_center(self, t_target: float) -> tuple[float, float]:
+        """Predicted (yaw, pitch) at a future time.
+
+        Falls back to the most recent observation when the window holds
+        too few samples for a stable trend.  The extrapolated trend is
+        clamped to a physically plausible head speed.
+        """
+        if not self._history:
+            raise RuntimeError("no observations yet")
+        times = np.array([h[0] for h in self._history])
+        yaws = np.array([h[1] for h in self._history])
+        pitches = np.array([h[2] for h in self._history])
+        t_last, yaw_last, pitch_last = self._history[-1]
+        if len(self._history) < 4 or t_target <= t_last:
+            return yaw_last % 360.0, float(np.clip(pitch_last, -90.0, 90.0))
+
+        rel = (times - t_last)[:, None]
+        yaw_model = RidgeRegressor(self.lam).fit(rel, yaws)
+        pitch_model = RidgeRegressor(self.lam).fit(rel, pitches)
+        # Head trends are only predictive for a second or so; beyond
+        # that, persistence (the current trend's endpoint) beats blind
+        # linear extrapolation across the whole buffer pipeline.
+        horizon = min(t_target - t_last, self.max_extrapolation_s)
+        yaw_hat = float(yaw_model.predict(np.array([[horizon]]))[0])
+        pitch_hat = float(pitch_model.predict(np.array([[horizon]]))[0])
+
+        # Clamp the implied trend speed.
+        max_move = self.max_trend_deg_s * horizon
+        yaw_hat = yaw_last + float(np.clip(yaw_hat - yaw_last, -max_move, max_move))
+        pitch_hat = pitch_last + float(
+            np.clip(pitch_hat - pitch_last, -max_move, max_move)
+        )
+        return yaw_hat % 360.0, float(np.clip(pitch_hat, -90.0, 90.0))
+
+    def predict_viewport(self, t_target: float) -> Viewport:
+        yaw, pitch = self.predict_center(t_target)
+        return Viewport(yaw, pitch, self.fov_deg, self.fov_deg)
+
+    def recent_speed_deg_s(self, quantile: float = 0.75) -> float:
+        """Switching-speed statistic over the history window (Eq. 4).
+
+        Uses an upper quantile by default, matching the session's QoE
+        evaluation: blur tolerance is set by the faster motion within a
+        window, not its average.
+        """
+        if len(self._history) < 2:
+            return 0.0
+        times = np.array([h[0] for h in self._history])
+        yaws = np.array([h[1] for h in self._history])
+        pitches = np.array([h[2] for h in self._history])
+        steps = np.hypot(np.diff(yaws), np.diff(pitches))
+        dt = np.diff(times)
+        return float(np.quantile(steps / dt, quantile))

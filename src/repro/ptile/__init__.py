@@ -1,0 +1,35 @@
+"""Ptile construction: Algorithm 1 clustering, rectangles, coverage."""
+
+from .clustering import Cluster, ViewingCenter, cluster_viewing_centers
+from .construction import (
+    Ptile,
+    PtileConfig,
+    partition_remainder,
+    RemainderBlock,
+    SegmentPtiles,
+    build_segment_ptiles,
+    build_video_ptiles,
+)
+from .coverage import (
+    CoverageStats,
+    coverage_stats,
+    ptile_count_distribution,
+    user_coverage,
+)
+
+__all__ = [
+    "Cluster",
+    "ViewingCenter",
+    "cluster_viewing_centers",
+    "Ptile",
+    "PtileConfig",
+    "partition_remainder",
+    "RemainderBlock",
+    "SegmentPtiles",
+    "build_segment_ptiles",
+    "build_video_ptiles",
+    "CoverageStats",
+    "coverage_stats",
+    "ptile_count_distribution",
+    "user_coverage",
+]

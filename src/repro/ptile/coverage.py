@@ -1,0 +1,87 @@
+"""Ptile coverage statistics (paper Fig. 7).
+
+Fig. 7(a) reports how many Ptiles each segment needs per video, and
+Fig. 7(b) the percentage of users whose viewing centers the Ptiles
+cover.  These statistics validate that popularity clustering
+concentrates most users onto one or two Ptiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.head_movement import HeadTrace
+from .construction import SegmentPtiles
+
+__all__ = ["CoverageStats", "ptile_count_distribution", "user_coverage",
+           "coverage_stats"]
+
+
+@dataclass(frozen=True)
+class CoverageStats:
+    """Per-video Ptile coverage summary."""
+
+    video_id: int
+    ptile_counts: tuple[int, ...]  # per segment
+    covered_fraction: float  # share of (user, segment) pairs covered
+
+    @property
+    def mean_ptiles(self) -> float:
+        return float(np.mean(self.ptile_counts))
+
+    def fraction_needing_at_most(self, k: int) -> float:
+        """Share of segments needing at most k Ptiles (Fig. 7(a))."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        counts = np.asarray(self.ptile_counts)
+        return float(np.mean(counts <= k))
+
+    def count_histogram(self) -> dict[int, float]:
+        """Distribution of per-segment Ptile counts."""
+        counts = np.asarray(self.ptile_counts)
+        return {
+            int(k): float(np.mean(counts == k)) for k in np.unique(counts)
+        }
+
+
+def ptile_count_distribution(segment_ptiles: list[SegmentPtiles]) -> tuple[int, ...]:
+    """Number of Ptiles constructed per segment."""
+    return tuple(sp.num_ptiles for sp in segment_ptiles)
+
+
+def user_coverage(
+    segment_ptiles: list[SegmentPtiles],
+    traces: list[HeadTrace],
+    segment_seconds: float = 1.0,
+) -> float:
+    """Fraction of (user, segment) samples covered by a Ptile (Fig. 7(b)).
+
+    A user is covered at a segment when their viewing center falls
+    inside some Ptile of that segment.
+    """
+    if not segment_ptiles or not traces:
+        raise ValueError("need segments and traces")
+    covered = 0
+    total = 0
+    for sp in segment_ptiles:
+        for trace in traces:
+            yaw, pitch = trace.segment_center(sp.segment_index, segment_seconds)
+            covered += int(sp.covers_user(yaw, pitch))
+            total += 1
+    return covered / total
+
+
+def coverage_stats(
+    video_id: int,
+    segment_ptiles: list[SegmentPtiles],
+    traces: list[HeadTrace],
+    segment_seconds: float = 1.0,
+) -> CoverageStats:
+    """Assemble the Fig. 7 statistics for one video."""
+    return CoverageStats(
+        video_id=video_id,
+        ptile_counts=ptile_count_distribution(segment_ptiles),
+        covered_fraction=user_coverage(segment_ptiles, traces, segment_seconds),
+    )

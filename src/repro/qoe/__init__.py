@@ -1,0 +1,27 @@
+"""QoE substrate: Eq. 3 quality, frame-rate factor, Eq. 2 metrics, fitting."""
+
+from .fitting import FitResult, VMAFOracle, build_training_set, fit_qo_model
+from .framerate import (
+    SPEED_TOLERANCE_THRESHOLD_DEG_S,
+    alpha_from_behavior,
+    frame_rate_factor,
+)
+from .metrics import QoEModel, QoEWeights, SegmentQoE, SessionQoE
+from .quality import QoCoefficients, QualityModel, TABLE_II
+
+__all__ = [
+    "FitResult",
+    "VMAFOracle",
+    "build_training_set",
+    "fit_qo_model",
+    "SPEED_TOLERANCE_THRESHOLD_DEG_S",
+    "alpha_from_behavior",
+    "frame_rate_factor",
+    "QoEModel",
+    "QoEWeights",
+    "SegmentQoE",
+    "SessionQoE",
+    "QoCoefficients",
+    "QualityModel",
+    "TABLE_II",
+]

@@ -1,0 +1,88 @@
+"""Frame-rate impact on perceived quality (paper Section III-C-2).
+
+Reducing the frame rate scales Q_o by an inverted-exponential factor::
+
+    factor(f) = (1 - exp(-alpha * f / f_m)) / (1 - exp(-alpha))
+
+where ``f`` is the reduced frame rate, ``f_m`` the original rate, and
+``alpha = S_fov / TI`` (Eq. 4) couples the user's view-switching speed
+(degrees/second, Eq. 5) with the video's motion complexity: fast
+switching or static content (large alpha) makes frame-rate reduction
+nearly free, while attentive viewing of high-motion content (small
+alpha) makes it costly.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "alpha_from_behavior",
+    "frame_rate_factor",
+    "SPEED_TOLERANCE_THRESHOLD_DEG_S",
+    "TI_NORMALIZATION",
+]
+
+SPEED_TOLERANCE_THRESHOLD_DEG_S = 10.0
+"""Above this switching speed users tolerate ~50 % more distortion
+(paper Section III-C-2, citing Pano [7])."""
+
+TI_NORMALIZATION = 60.0
+"""TI is normalized to [0, 1] by its practical ITU-T P.910 maximum
+before entering Eq. 4.
+
+Dimensional analysis fixes this choice: with raw TI (tens) and typical
+switching speeds (units to tens of degrees/second), alpha would sit
+below ~1 almost everywhere and the exponential factor would forbid any
+frame-rate reduction within the paper's 5 % tolerance — contradicting
+the paper's own results (20 % energy reduction below Ptile at <5 % QoE
+cost, enabled whenever users move faster than ~10 degrees/second).
+Normalizing TI places alpha in the 1..50 range where the Eq. 4
+mechanism reproduces exactly that reported behaviour: reduction is
+near-free while the view moves, and costly only for a static gaze on
+high-motion content.
+"""
+
+_MIN_ALPHA = 1e-6
+
+
+def alpha_from_behavior(
+    switching_speed_deg_s: float,
+    ti: float,
+    ti_normalization: float = TI_NORMALIZATION,
+) -> float:
+    """Eq. 4: ``alpha = S_fov / TI`` with TI normalized to [0, 1].
+
+    Clamped below by a tiny positive value so that a perfectly static
+    view keeps the factor well-defined (it degenerates to the linear
+    ``f / f_m`` limit, the harshest penalty).
+    """
+    if switching_speed_deg_s < 0:
+        raise ValueError("switching speed must be non-negative")
+    if ti <= 0:
+        raise ValueError("TI must be positive")
+    if ti_normalization <= 0:
+        raise ValueError("TI normalization must be positive")
+    return max(
+        switching_speed_deg_s / (ti / ti_normalization), _MIN_ALPHA
+    )
+
+
+def frame_rate_factor(frame_rate: float, max_frame_rate: float, alpha: float) -> float:
+    """Quality multiplier in (0, 1] for a reduced frame rate.
+
+    Equals 1 at ``frame_rate == max_frame_rate`` and decreases
+    monotonically as frames are dropped; larger ``alpha`` means a slower
+    fall (frame rate matters less).
+    """
+    if not (0 < frame_rate <= max_frame_rate):
+        raise ValueError(
+            f"frame rate {frame_rate} outside (0, {max_frame_rate}]"
+        )
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    ratio = frame_rate / max_frame_rate
+    if alpha < 1e-4:
+        # exp(-a*x) ~ 1 - a*x: the factor tends to f / f_m.
+        return ratio
+    return (1.0 - math.exp(-alpha * ratio)) / (1.0 - math.exp(-alpha))

@@ -1,0 +1,82 @@
+"""Perceived video quality Q_o (paper Eq. 3, Table II).
+
+Following ITU-T G.1070, the paper models the "original" perceived
+quality of a segment (VMAF scale, 0..100) as a logistic function of the
+spatial perceptual information SI, the temporal perceptual information
+TI, and the video bitrate b (Mbps)::
+
+    Q_o = 100 / (1 + exp(-(c1 + c2*SI + c3*TI + c4*b)))
+
+The coefficients are fitted against VMAF with nonlinear least squares
+(paper Table II); ``repro.qoe.fitting`` reproduces that fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QoCoefficients", "TABLE_II", "QualityModel"]
+
+
+@dataclass(frozen=True)
+class QoCoefficients:
+    """Coefficients c1..c4 of the Eq. 3 logistic."""
+
+    c1: float
+    c2: float
+    c3: float
+    c4: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.c1, self.c2, self.c3, self.c4])
+
+
+TABLE_II = QoCoefficients(c1=-0.2163, c2=0.0581, c3=-0.1578, c4=0.7821)
+"""The fitted coefficients reported in the paper's Table II."""
+
+
+@dataclass(frozen=True)
+class QualityModel:
+    """Eq. 3 evaluated with a fixed coefficient set (default Table II)."""
+
+    coefficients: QoCoefficients = TABLE_II
+    scale: float = 100.0
+
+    def exponent(self, si: float, ti: float, bitrate_mbps: float) -> float:
+        """The logistic argument ``c1 + c2*SI + c3*TI + c4*b``."""
+        c = self.coefficients
+        return c.c1 + c.c2 * si + c.c3 * ti + c.c4 * bitrate_mbps
+
+    def qo(self, si: float, ti: float, bitrate_mbps: float) -> float:
+        """Perceived quality Q_o in [0, scale]."""
+        if bitrate_mbps < 0:
+            raise ValueError("bitrate must be non-negative")
+        z = self.exponent(si, ti, bitrate_mbps)
+        # Numerically stable logistic.
+        if z >= 0:
+            return self.scale / (1.0 + math.exp(-z))
+        ez = math.exp(z)
+        return self.scale * ez / (1.0 + ez)
+
+    def qo_array(
+        self,
+        si: np.ndarray | float,
+        ti: np.ndarray | float,
+        bitrate_mbps: np.ndarray | float,
+    ) -> np.ndarray:
+        """Vectorized Q_o for fitting and surface plots (Fig. 4(b))."""
+        z = (
+            self.coefficients.c1
+            + self.coefficients.c2 * np.asarray(si, dtype=float)
+            + self.coefficients.c3 * np.asarray(ti, dtype=float)
+            + self.coefficients.c4 * np.asarray(bitrate_mbps, dtype=float)
+        )
+        out = np.empty_like(z, dtype=float)
+        pos = z >= 0
+        out[pos] = self.scale / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = self.scale * ez / (1.0 + ez)
+        return out

@@ -1,0 +1,71 @@
+"""Streaming layer: buffer, ABR, schemes, Ftile partition, simulator."""
+
+from .abr import ThroughputBufferABR
+from .buffer import BufferEvent, PlaybackBuffer
+from .cache import (
+    CacheStats,
+    EdgeCache,
+    ptile_vs_ctile_caching,
+    simulate_cache,
+)
+from .events import TimelineEntry, session_timeline, timeline_csv
+from .ftile import (
+    FtileCell,
+    FtilePartition,
+    build_ftile_partition,
+    build_video_ftiles,
+)
+from .metrics import (
+    SegmentRecord,
+    SessionResult,
+    mean_sessions,
+    normalize_by,
+)
+from .multiclient import SharedLinkResult, capacity_sweep, run_shared_link
+from .schemes import (
+    CtileScheme,
+    DownloadPlan,
+    FtileScheme,
+    LOWEST_QUALITY,
+    NontileScheme,
+    PlanContext,
+    PtileScheme,
+    StreamingScheme,
+    split_wrapped_rect,
+)
+from .session import SessionConfig, run_session
+
+__all__ = [
+    "ThroughputBufferABR",
+    "BufferEvent",
+    "PlaybackBuffer",
+    "CacheStats",
+    "EdgeCache",
+    "ptile_vs_ctile_caching",
+    "simulate_cache",
+    "TimelineEntry",
+    "session_timeline",
+    "timeline_csv",
+    "SharedLinkResult",
+    "capacity_sweep",
+    "run_shared_link",
+    "FtileCell",
+    "FtilePartition",
+    "build_ftile_partition",
+    "build_video_ftiles",
+    "SegmentRecord",
+    "SessionResult",
+    "mean_sessions",
+    "normalize_by",
+    "CtileScheme",
+    "DownloadPlan",
+    "FtileScheme",
+    "LOWEST_QUALITY",
+    "NontileScheme",
+    "PlanContext",
+    "PtileScheme",
+    "StreamingScheme",
+    "split_wrapped_rect",
+    "SessionConfig",
+    "run_session",
+]

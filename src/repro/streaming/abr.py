@@ -1,0 +1,71 @@
+"""Quality selection for the baseline schemes.
+
+Ctile, Ftile, Nontile and the Ptile variant pick the *highest quality
+the predicted bandwidth can sustain* (the paper's baselines maximize
+quality under the network constraint; energy is not part of their
+objective).  The rule is a standard throughput-based DASH heuristic:
+the download budget is one segment duration of predicted throughput
+(with a safety factor), tightened when the buffer is nearly empty.
+Surplus buffer does not raise the budget by default — spending beyond
+the sustainable rate just oscillates the quality and keeps the radio
+busy; set ``surplus_scale > 0`` to study that behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["ThroughputBufferABR"]
+
+
+@dataclass(frozen=True)
+class ThroughputBufferABR:
+    """Pick the largest quality whose size fits the download budget."""
+
+    safety: float = 0.95
+    low_buffer_s: float = 1.0
+    low_buffer_scale: float = 0.6
+    surplus_start_s: float = 2.0
+    surplus_scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.safety <= 1):
+            raise ValueError("safety must be in (0, 1]")
+
+    def budget_mbit(
+        self, bandwidth_mbps: float, buffer_s: float, segment_s: float = 1.0
+    ) -> float:
+        """Megabits the client is willing to spend on this segment."""
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if buffer_s < 0:
+            raise ValueError("buffer must be non-negative")
+        budget_time = segment_s
+        if buffer_s < self.low_buffer_s:
+            budget_time = segment_s * self.low_buffer_scale
+        elif buffer_s > self.surplus_start_s:
+            budget_time = segment_s + self.surplus_scale * (
+                buffer_s - self.surplus_start_s
+            )
+        return bandwidth_mbps * self.safety * budget_time
+
+    def choose_quality(
+        self,
+        size_for_quality: Callable[[float], float],
+        bandwidth_mbps: float,
+        buffer_s: float,
+        segment_s: float = 1.0,
+        qualities: Sequence[float] = (1, 2, 3, 4, 5),
+    ) -> float:
+        """Highest quality whose total segment size fits the budget.
+
+        Falls back to the lowest quality when nothing fits.
+        """
+        if not qualities:
+            raise ValueError("need at least one quality level")
+        budget = self.budget_mbit(bandwidth_mbps, buffer_s, segment_s)
+        for quality in sorted(qualities, reverse=True):
+            if size_for_quality(quality) <= budget:
+                return quality
+        return min(qualities)

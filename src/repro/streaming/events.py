@@ -1,0 +1,85 @@
+"""Session timelines: per-segment event logs for debugging and analysis.
+
+Reconstructs a wall-clock timeline (request, wait, stall, playback
+deadline) from a finished :class:`SessionResult`, and exports it as CSV
+so sessions can be inspected outside Python.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+from .metrics import SessionResult
+
+__all__ = ["TimelineEntry", "session_timeline", "timeline_csv"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One segment's life on the wall clock."""
+
+    segment: int
+    request_t: float  # when the request was issued
+    download_end_t: float
+    wait_s: float
+    stall_s: float
+    buffer_before_s: float
+    quality: float
+    frame_rate: float
+    size_mbit: float
+    coverage: float
+    qoe: float
+
+
+def session_timeline(result: SessionResult) -> list[TimelineEntry]:
+    """Reconstruct the wall-clock timeline of a session.
+
+    The simulator's clock advances by waits and download times only (the
+    same accounting as :func:`repro.streaming.session.run_session`), so
+    the timeline is exact.
+    """
+    entries: list[TimelineEntry] = []
+    clock = 0.0
+    for record in result.records:
+        clock += record.wait_s
+        request_t = clock
+        clock += record.download_time_s
+        entries.append(
+            TimelineEntry(
+                segment=record.index,
+                request_t=request_t,
+                download_end_t=clock,
+                wait_s=record.wait_s,
+                stall_s=record.stall_s,
+                buffer_before_s=record.buffer_before_s,
+                quality=record.quality,
+                frame_rate=record.frame_rate,
+                size_mbit=record.size_mbit,
+                coverage=record.coverage,
+                qoe=record.qoe.q,
+            )
+        )
+    return entries
+
+
+def timeline_csv(result: SessionResult, path: str | Path | None = None) -> str:
+    """Export a session timeline as CSV (returned; optionally written)."""
+    entries = session_timeline(result)
+    buf = io.StringIO()
+    buf.write(
+        "segment,request_t,download_end_t,wait_s,stall_s,buffer_before_s,"
+        "quality,frame_rate,size_mbit,coverage,qoe\n"
+    )
+    for e in entries:
+        buf.write(
+            f"{e.segment},{e.request_t:.4f},{e.download_end_t:.4f},"
+            f"{e.wait_s:.4f},{e.stall_s:.4f},{e.buffer_before_s:.4f},"
+            f"{e.quality:.3f},{e.frame_rate:.1f},{e.size_mbit:.4f},"
+            f"{e.coverage:.4f},{e.qoe:.4f}\n"
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

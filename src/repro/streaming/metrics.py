@@ -1,0 +1,171 @@
+"""Session results and aggregation.
+
+A :class:`SessionResult` collects per-segment records from one simulated
+streaming session (one user watching one video over one network trace on
+one device) and exposes the aggregates the paper reports: total energy
+and its three components (Fig. 9), session QoE and its three components
+(Fig. 11), rebuffering counts, and quality statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..power.energy import SegmentEnergy
+from ..power.models import TilingScheme
+from ..qoe.metrics import SegmentQoE, SessionQoE
+
+__all__ = ["SegmentRecord", "SessionResult", "mean_sessions", "normalize_by"]
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """Everything measured for one downloaded segment."""
+
+    index: int
+    quality: int
+    frame_rate: float
+    size_mbit: float
+    download_time_s: float
+    wait_s: float
+    stall_s: float
+    buffer_before_s: float
+    coverage: float
+    qo_effective: float
+    qoe: SegmentQoE
+    energy: SegmentEnergy
+    decode_scheme: TilingScheme
+    used_ptile: bool
+
+
+@dataclass
+class SessionResult:
+    """Aggregated outcome of one streaming session."""
+
+    scheme_name: str
+    video_id: int
+    user_id: int
+    device_name: str
+    network_name: str
+    records: list[SegmentRecord] = field(default_factory=list)
+
+    def add(self, record: SegmentRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Energy (Fig. 9 / Fig. 10)
+    # ------------------------------------------------------------------
+
+    @property
+    def energy(self) -> SegmentEnergy:
+        """Total session energy with its three components (joules)."""
+        total = SegmentEnergy.zero()
+        for record in self.records:
+            total = total + record.energy
+        return total
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.energy.total_j
+
+    @property
+    def energy_per_segment_j(self) -> float:
+        self._require_records()
+        return self.total_energy_j / self.num_segments
+
+    # ------------------------------------------------------------------
+    # QoE (Fig. 11)
+    # ------------------------------------------------------------------
+
+    @property
+    def session_qoe(self) -> SessionQoE:
+        session = SessionQoE()
+        for record in self.records:
+            session.add(record.qoe)
+        return session
+
+    @property
+    def mean_qoe(self) -> float:
+        return self.session_qoe.mean_q
+
+    @property
+    def mean_quality_level(self) -> float:
+        self._require_records()
+        return float(np.mean([r.quality for r in self.records]))
+
+    @property
+    def mean_frame_rate(self) -> float:
+        self._require_records()
+        return float(np.mean([r.frame_rate for r in self.records]))
+
+    @property
+    def mean_coverage(self) -> float:
+        self._require_records()
+        return float(np.mean([r.coverage for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # Stalls
+    # ------------------------------------------------------------------
+
+    @property
+    def total_stall_s(self) -> float:
+        return sum(r.stall_s for r in self.records)
+
+    @property
+    def rebuffer_count(self) -> int:
+        """Stalled segments, excluding the cold-start first download."""
+        return sum(1 for r in self.records if r.stall_s > 0 and r.index > 0)
+
+    @property
+    def ptile_hit_rate(self) -> float:
+        self._require_records()
+        return float(np.mean([r.used_ptile for r in self.records]))
+
+    def _require_records(self) -> None:
+        if not self.records:
+            raise ValueError("session has no records")
+
+
+def mean_sessions(results: list[SessionResult]) -> dict[str, float]:
+    """Average the headline metrics over a batch of sessions."""
+    if not results:
+        raise ValueError("no sessions to aggregate")
+    return {
+        "energy_j": float(np.mean([r.total_energy_j for r in results])),
+        "energy_per_segment_j": float(
+            np.mean([r.energy_per_segment_j for r in results])
+        ),
+        "transmission_j": float(np.mean([r.energy.transmission_j for r in results])),
+        "decoding_j": float(np.mean([r.energy.decoding_j for r in results])),
+        "rendering_j": float(np.mean([r.energy.rendering_j for r in results])),
+        "qoe": float(np.mean([r.mean_qoe for r in results])),
+        "qo": float(np.mean([r.session_qoe.mean_qo for r in results])),
+        "variation": float(np.mean([r.session_qoe.mean_variation for r in results])),
+        "rebuffer_penalty": float(
+            np.mean([r.session_qoe.mean_rebuffer for r in results])
+        ),
+        "rebuffer_count": float(np.mean([r.rebuffer_count for r in results])),
+        "stall_s": float(np.mean([r.total_stall_s for r in results])),
+        "quality_level": float(np.mean([r.mean_quality_level for r in results])),
+        "frame_rate": float(np.mean([r.mean_frame_rate for r in results])),
+        "coverage": float(np.mean([r.mean_coverage for r in results])),
+    }
+
+
+def normalize_by(
+    metrics: dict[str, dict[str, float]], baseline: str, key: str
+) -> dict[str, float]:
+    """Normalize one metric across schemes by a baseline scheme
+    (the paper normalizes energy and QoE by Ctile)."""
+    if baseline not in metrics:
+        raise KeyError(f"baseline {baseline!r} missing from metrics")
+    base = metrics[baseline][key]
+    if base == 0:
+        raise ZeroDivisionError(f"baseline metric {key!r} is zero")
+    return {scheme: values[key] / base for scheme, values in metrics.items()}

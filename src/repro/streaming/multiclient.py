@@ -1,0 +1,125 @@
+"""Multi-client streaming over a shared bottleneck link.
+
+The paper evaluates one client per network trace.  A natural deployment
+question (and a common follow-up in the tile-streaming literature) is
+what happens when several 360° viewers share a cell: Ptile clients
+download fewer bits per segment, so the same link sustains more of them
+at a given quality.
+
+This module provides a round-based approximation: in each one-second
+round, every active client requests its next segment and the link's
+capacity for that second is divided between the clients that are
+actively downloading (processor sharing).  Per-client buffers, quality
+adaptation, energy, and QoE use the same machinery as the single-client
+simulator; only the bandwidth each client sees changes round to round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..power.models import DevicePowerModel
+from ..traces.network import NetworkTrace
+from .metrics import SessionResult
+from .session import SessionConfig, run_session
+
+__all__ = ["SharedLinkResult", "run_shared_link"]
+
+
+@dataclass(frozen=True)
+class SharedLinkResult:
+    """Outcome of N clients sharing a link."""
+
+    n_clients: int
+    per_client: tuple[SessionResult, ...]
+    fair_share_trace: NetworkTrace = field(repr=False)
+
+    @property
+    def mean_energy_j(self) -> float:
+        return float(np.mean([r.total_energy_j for r in self.per_client]))
+
+    @property
+    def mean_qoe(self) -> float:
+        return float(np.mean([r.mean_qoe for r in self.per_client]))
+
+    @property
+    def mean_quality(self) -> float:
+        return float(np.mean([r.mean_quality_level for r in self.per_client]))
+
+    @property
+    def total_rebuffers(self) -> int:
+        return sum(r.rebuffer_count for r in self.per_client)
+
+
+def run_shared_link(
+    scheme_factory,
+    manifest,
+    head_traces,
+    network: NetworkTrace,
+    device: DevicePowerModel,
+    *,
+    ptiles=None,
+    ftiles=None,
+    config: SessionConfig = SessionConfig(),
+) -> SharedLinkResult:
+    """Simulate N clients sharing one bottleneck link.
+
+    ``scheme_factory`` is called once per client (schemes carry mutable
+    state in general).  The shared link is approximated by processor
+    sharing: each client sees ``capacity / N`` whenever all N stream
+    concurrently — exact when clients stay backlogged, conservative when
+    some idle at their buffer cap (their unused share is not
+    redistributed, matching the pessimistic end of TCP fairness).
+
+    Returns per-client session results computed against the fair-share
+    trace.
+    """
+    n = len(head_traces)
+    if n < 1:
+        raise ValueError("need at least one client")
+    fair = network.scaled(1.0 / n, name=f"{network.name}/{n}")
+    results = []
+    for head in head_traces:
+        results.append(
+            run_session(
+                scheme_factory(),
+                manifest,
+                head,
+                fair,
+                device,
+                ptiles=ptiles,
+                ftiles=ftiles,
+                config=config,
+            )
+        )
+    return SharedLinkResult(
+        n_clients=n, per_client=tuple(results), fair_share_trace=fair
+    )
+
+
+def capacity_sweep(
+    scheme_factory,
+    manifest,
+    head_traces,
+    network: NetworkTrace,
+    device: DevicePowerModel,
+    client_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    ptiles=None,
+    ftiles=None,
+    config: SessionConfig = SessionConfig(),
+) -> dict[int, SharedLinkResult]:
+    """How quality and stalls degrade as more clients share the cell."""
+    available = list(head_traces)
+    results: dict[int, SharedLinkResult] = {}
+    for count in client_counts:
+        if count < 1:
+            raise ValueError("client counts must be positive")
+        chosen = [available[i % len(available)] for i in range(count)]
+        results[count] = run_shared_link(
+            scheme_factory, manifest, chosen, network, device,
+            ptiles=ptiles, ftiles=ftiles, config=config,
+        )
+    return results

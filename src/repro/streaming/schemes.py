@@ -1,0 +1,278 @@
+"""The streaming schemes compared in the paper (Section V-A).
+
+* **Ctile** — conventional fixed 4x8 tiling; FoV tiles at the ABR
+  quality, everything else at the lowest quality; four parallel
+  decoders.
+* **Ftile** — ten variable-size tiles clustered from 450 blocks; tiles
+  overlapping the predicted FoV at the ABR quality, the rest lowest.
+* **Nontile** — the whole frame as one stream at the ABR quality
+  (YouTube style).
+* **Ptile** — the popularity tile covering the predicted viewport at the
+  ABR quality plus low-quality remainder blocks; one decoder; original
+  frame rate.
+* **Ours** — Ptile plus MPC-chosen (quality, frame rate); lives in
+  :mod:`repro.core.controller` since it builds on the optimizer.
+
+Every scheme turns a :class:`PlanContext` (what the client knows when it
+requests segment k) into a :class:`DownloadPlan` (what is downloaded and
+how it will be decoded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..geometry.tiling import Tile, TileGrid
+from ..geometry.viewport import Rect, Viewport
+from ..power.models import TilingScheme
+from ..ptile.construction import SegmentPtiles
+from ..video.segments import SegmentManifest
+from .abr import ThroughputBufferABR
+from .ftile import FtilePartition
+
+__all__ = [
+    "PlanContext",
+    "DownloadPlan",
+    "StreamingScheme",
+    "CtileScheme",
+    "FtileScheme",
+    "NontileScheme",
+    "PtileScheme",
+    "split_wrapped_rect",
+    "LOWEST_QUALITY",
+]
+
+LOWEST_QUALITY = 1
+
+
+def split_wrapped_rect(rect: Rect) -> tuple[Rect, ...]:
+    """Normalize a rectangle that may extend past yaw 360 into
+    non-wrapping pieces."""
+    if rect.x1 <= 360.0:
+        return (rect,)
+    return (
+        Rect(rect.x0, rect.y0, 360.0, rect.y1),
+        Rect(0.0, rect.y0, rect.x1 - 360.0, rect.y1),
+    )
+
+
+@dataclass(frozen=True)
+class PlanContext:
+    """Everything the client knows when requesting one segment."""
+
+    segment_index: int
+    manifest: SegmentManifest
+    predicted_viewport: Viewport
+    buffer_s: float
+    bandwidth_mbps: float
+    grid: TileGrid
+    fps: float = 30.0
+    segment_ptiles: SegmentPtiles | None = None
+    ftile_partition: FtilePartition | None = None
+    future_manifests: tuple[SegmentManifest, ...] = ()
+    future_ptiles: tuple[SegmentPtiles | None, ...] = ()
+    predicted_speed_deg_s: float = 0.0
+    segment_seconds: float = 1.0
+
+
+@dataclass(frozen=True)
+class DownloadPlan:
+    """What gets downloaded for one segment and how it is decoded."""
+
+    scheme_name: str
+    quality: float
+    frame_rate: float
+    total_size_mbit: float
+    decode_scheme: TilingScheme
+    hq_rects: tuple[Rect, ...] = field(default_factory=tuple)
+    full_coverage: bool = False
+    used_ptile: bool = False
+
+    def coverage_of(self, viewport: Viewport) -> float:
+        """Fraction of the viewport area served at high quality."""
+        if self.full_coverage:
+            return 1.0
+        total = viewport.area
+        if total <= 0 or not self.hq_rects:
+            return 0.0
+        covered = 0.0
+        for vp_rect in viewport.rects():
+            for hq in self.hq_rects:
+                covered += vp_rect.intersection_area(hq)
+        return min(covered / total, 1.0)
+
+
+class StreamingScheme(Protocol):
+    """A streaming scheme plans the download of each segment."""
+
+    name: str
+
+    def plan(self, ctx: PlanContext) -> DownloadPlan:  # pragma: no cover
+        ...
+
+
+def _tile_rects(grid: TileGrid, tiles: set[Tile]) -> tuple[Rect, ...]:
+    return tuple(grid.tile_rect(t) for t in sorted(tiles))
+
+
+@dataclass(frozen=True)
+class CtileScheme:
+    """Conventional fixed-grid tile streaming (4 decoders)."""
+
+    abr: ThroughputBufferABR = field(default_factory=ThroughputBufferABR)
+    name: str = "ctile"
+
+    def plan(self, ctx: PlanContext) -> DownloadPlan:
+        fov_tiles = ctx.grid.viewport_tiles(ctx.predicted_viewport)
+        other_tiles = set(ctx.grid.tiles()) - fov_tiles
+        background = ctx.manifest.tiles_size_mbit(other_tiles, LOWEST_QUALITY)
+
+        def size_at(quality: int) -> float:
+            return ctx.manifest.tiles_size_mbit(fov_tiles, quality) + background
+
+        quality = self.abr.choose_quality(
+            size_at, ctx.bandwidth_mbps, ctx.buffer_s, ctx.segment_seconds
+        )
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=quality,
+            frame_rate=ctx.fps,
+            total_size_mbit=size_at(quality),
+            decode_scheme=TilingScheme.CTILE,
+            hq_rects=_tile_rects(ctx.grid, fov_tiles),
+        )
+
+
+@dataclass(frozen=True)
+class FtileScheme:
+    """Variable-size tiling with a fixed tile count (4 decoders)."""
+
+    abr: ThroughputBufferABR = field(default_factory=ThroughputBufferABR)
+    name: str = "ftile"
+
+    def plan(self, ctx: PlanContext) -> DownloadPlan:
+        if ctx.ftile_partition is None:
+            raise ValueError("FtileScheme requires a per-segment partition")
+        cells = ctx.ftile_partition.cells
+        hq_cells = ctx.ftile_partition.viewport_cells(ctx.predicted_viewport)
+        hq_keys = {c.key for c in hq_cells}
+        lq_cells = [c for c in cells if c.key not in hq_keys]
+        background = sum(
+            ctx.manifest.region_size_mbit(c.key, c.area_fraction, LOWEST_QUALITY)
+            for c in lq_cells
+        )
+
+        def size_at(quality: int) -> float:
+            hq = sum(
+                ctx.manifest.region_size_mbit(c.key, c.area_fraction, quality)
+                for c in hq_cells
+            )
+            return hq + background
+
+        quality = self.abr.choose_quality(
+            size_at, ctx.bandwidth_mbps, ctx.buffer_s, ctx.segment_seconds
+        )
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=quality,
+            frame_rate=ctx.fps,
+            total_size_mbit=size_at(quality),
+            decode_scheme=TilingScheme.FTILE,
+            hq_rects=tuple(c.rect for c in hq_cells),
+        )
+
+
+@dataclass(frozen=True)
+class NontileScheme:
+    """Whole-frame streaming, no tiling (one decoder, full coverage).
+
+    Whole-video players (YouTube-style) use much denser quality ladders
+    than the five tile CRF levels, so Nontile selects from a fractional
+    ladder interpolating the CRF sweep in 0.25-level steps.
+    """
+
+    abr: ThroughputBufferABR = field(default_factory=ThroughputBufferABR)
+    name: str = "nontile"
+    ladder_step: float = 0.25
+
+    def plan(self, ctx: PlanContext) -> DownloadPlan:
+        def size_at(quality: float) -> float:
+            return ctx.manifest.full_frame_size_mbit(quality)
+
+        steps = int(round(4.0 / self.ladder_step))
+        qualities = [1.0 + i * self.ladder_step for i in range(steps + 1)]
+        quality = self.abr.choose_quality(
+            size_at,
+            ctx.bandwidth_mbps,
+            ctx.buffer_s,
+            ctx.segment_seconds,
+            qualities=qualities,
+        )
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=quality,
+            frame_rate=ctx.fps,
+            total_size_mbit=size_at(quality),
+            decode_scheme=TilingScheme.NONTILE,
+            full_coverage=True,
+        )
+
+
+@dataclass(frozen=True)
+class PtileScheme:
+    """Ptile streaming at the original frame rate (one decoder).
+
+    Falls back to Ctile behaviour when no Ptile covers the predicted
+    viewing center (the paper: "the client will download conventional
+    tiles with the best possible quality").
+    """
+
+    abr: ThroughputBufferABR = field(default_factory=ThroughputBufferABR)
+    name: str = "ptile"
+    fallback: CtileScheme = field(default_factory=CtileScheme)
+
+    def plan(self, ctx: PlanContext) -> DownloadPlan:
+        if ctx.segment_ptiles is None:
+            return self._fallback_plan(ctx)
+        ptile = ctx.segment_ptiles.match(ctx.predicted_viewport)
+        if ptile is None:
+            return self._fallback_plan(ctx)
+        remainder = ctx.segment_ptiles.remainder_for(ptile)
+        background = sum(
+            ctx.manifest.region_size_mbit(b.key, b.area_fraction, LOWEST_QUALITY)
+            for b in remainder
+        )
+
+        def size_at(quality: int) -> float:
+            return (
+                ctx.manifest.region_size_mbit(
+                    ptile.region_key, ptile.area_fraction, quality
+                )
+                + background
+            )
+
+        quality = self.abr.choose_quality(
+            size_at, ctx.bandwidth_mbps, ctx.buffer_s, ctx.segment_seconds
+        )
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=quality,
+            frame_rate=ctx.fps,
+            total_size_mbit=size_at(quality),
+            decode_scheme=TilingScheme.PTILE,
+            hq_rects=split_wrapped_rect(ptile.rect),
+            used_ptile=True,
+        )
+
+    def _fallback_plan(self, ctx: PlanContext) -> DownloadPlan:
+        plan = self.fallback.plan(ctx)
+        # Report under this scheme's name but keep Ctile decode costs.
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=plan.quality,
+            frame_rate=plan.frame_rate,
+            total_size_mbit=plan.total_size_mbit,
+            decode_scheme=plan.decode_scheme,
+            hq_rects=plan.hq_rects,
+        )

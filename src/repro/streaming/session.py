@@ -1,0 +1,236 @@
+"""Trace-driven streaming session simulator.
+
+Replays one user's head-movement trace against a network trace: for
+every segment the client predicts the viewport, estimates bandwidth,
+asks the scheme for a download plan, downloads against the network
+trace, advances the playback buffer, and scores energy (Eq. 1) and QoE
+(Eq. 2) for what the user actually saw.
+
+Conventions:
+
+* The head trace is indexed by *video time*; the playhead position when
+  requesting segment k is ``k*L - B`` (downloaded minus buffered).
+* Viewport-sensitive requests are issued *late*: as in deadline-driven
+  players (e.g. Flare), the high-quality region of a segment is fixed
+  only ``late_fetch_horizon_s`` before its playback, so the predictor
+  sees head samples up to that point and extrapolates a short horizon
+  instead of the full buffer pipeline.
+* The viewport actually watched during segment k is the trace at the
+  segment midpoint; the plan's high-quality region covers some fraction
+  of it, and the rest is seen at the lowest quality.
+* The frame-rate QoE factor uses the *actual* switching speed during
+  the segment (the scheme chose the frame rate from a prediction).
+* The first download is startup delay, not a rebuffering event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..power.energy import EnergyModel, SegmentEnergy
+from ..power.models import DevicePowerModel
+from ..prediction.bandwidth import HarmonicMeanEstimator
+from ..prediction.viewport import ViewportPredictor
+from ..ptile.construction import SegmentPtiles
+from ..qoe.framerate import alpha_from_behavior, frame_rate_factor
+from ..qoe.metrics import QoEModel
+from ..traces.head_movement import HeadTrace
+from ..traces.network import NetworkTrace
+from ..video.segments import VideoManifest
+from .buffer import PlaybackBuffer
+from .ftile import FtilePartition
+from .metrics import SegmentRecord, SessionResult
+from .schemes import LOWEST_QUALITY, PlanContext, StreamingScheme
+
+__all__ = ["SessionConfig", "run_session"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Simulation parameters (paper Section V defaults)."""
+
+    segment_seconds: float = 1.0
+    buffer_threshold_s: float = 3.0
+    bandwidth_window: int = 5
+    predictor_window_s: float = 2.0
+    horizon: int = 5
+    fov_deg: float = 100.0
+    late_fetch_horizon_s: float = 1.2
+    count_startup_stall: bool = False
+    max_segments: int | None = None
+    # Viewport-prediction strategy: a callable (trace, fov_deg, window_s)
+    # -> predictor.  None selects the paper's ridge regression; see
+    # repro.prediction.strategies for the static/oracle alternatives.
+    predictor_factory: Callable | None = None
+
+
+@dataclass
+class _TraceFeeder:
+    """Feeds head samples to the predictor as the playhead advances."""
+
+    trace: HeadTrace
+    predictor: object  # anything satisfying PredictorProtocol
+    _cursor: int = field(default=0)
+
+    def feed_until(self, video_time: float) -> None:
+        t = self.trace.timestamps
+        while self._cursor < t.size and t[self._cursor] <= video_time:
+            self.predictor.observe(
+                float(t[self._cursor]),
+                float(self.trace.yaw_unwrapped[self._cursor]),
+                float(self.trace.pitch[self._cursor]),
+            )
+            self._cursor += 1
+
+
+def run_session(
+    scheme: StreamingScheme,
+    manifest: VideoManifest,
+    head_trace: HeadTrace,
+    network: NetworkTrace,
+    device: DevicePowerModel,
+    *,
+    ptiles: list[SegmentPtiles] | None = None,
+    ftiles: list[FtilePartition] | None = None,
+    qoe: QoEModel | None = None,
+    config: SessionConfig = SessionConfig(),
+) -> SessionResult:
+    """Simulate one full streaming session and return its metrics."""
+    qoe = qoe or QoEModel()
+    length = manifest.num_segments
+    if config.max_segments is not None:
+        length = min(length, config.max_segments)
+    if length < 1:
+        raise ValueError("nothing to stream")
+
+    buffer = PlaybackBuffer(config.buffer_threshold_s, config.segment_seconds)
+    bandwidth = HarmonicMeanEstimator(config.bandwidth_window)
+    # Startup probe: the client measures throughput while fetching the
+    # manifest/metadata before the first segment request.
+    bandwidth.add(network.bandwidth_at(0.0))
+    if config.predictor_factory is not None:
+        predictor = config.predictor_factory(
+            head_trace, config.fov_deg, config.predictor_window_s
+        )
+    else:
+        predictor = ViewportPredictor(
+            window_s=config.predictor_window_s, fov_deg=config.fov_deg
+        )
+    feeder = _TraceFeeder(head_trace, predictor)
+
+    energy_model = EnergyModel(device, config.segment_seconds)
+    result = SessionResult(
+        scheme_name=scheme.name,
+        video_id=manifest.video.meta.video_id,
+        user_id=head_trace.user_id,
+        device_name=device.name,
+        network_name=network.name,
+    )
+
+    wall_t = 0.0
+    prev_qo: float | None = None
+    for k in range(length):
+        wait = buffer.wait_time()
+        wall_t += wait
+        level_at_request = buffer.level_s - wait
+
+        # The user has watched up to the playhead; late viewport-tile
+        # updates let the client refine the prediction until shortly
+        # before the segment plays.
+        playhead = k * config.segment_seconds - level_at_request
+        playback_mid = (k + 0.5) * config.segment_seconds
+        prediction_time = max(
+            playhead, playback_mid - config.late_fetch_horizon_s, 0.0
+        )
+        feeder.feed_until(prediction_time)
+        if predictor.num_observations > 0:
+            predicted_vp = predictor.predict_viewport(playback_mid)
+            predicted_speed = predictor.recent_speed_deg_s()
+        else:
+            predicted_vp = head_trace.viewport_at(0.0, config.fov_deg)
+            predicted_speed = 0.0
+
+        horizon_end = min(k + config.horizon, manifest.num_segments)
+        ctx = PlanContext(
+            segment_index=k,
+            manifest=manifest[k],
+            predicted_viewport=predicted_vp,
+            buffer_s=level_at_request,
+            bandwidth_mbps=bandwidth.estimate(),
+            grid=manifest.encoder.grid,
+            fps=manifest.fps,
+            segment_ptiles=ptiles[k] if ptiles is not None else None,
+            ftile_partition=ftiles[k] if ftiles is not None else None,
+            future_manifests=tuple(manifest[i] for i in range(k, horizon_end)),
+            future_ptiles=tuple(
+                ptiles[i] if ptiles is not None else None
+                for i in range(k, horizon_end)
+            ),
+            predicted_speed_deg_s=predicted_speed,
+            segment_seconds=config.segment_seconds,
+        )
+        plan = scheme.plan(ctx)
+
+        download_time = network.download_time(plan.total_size_mbit, wall_t)
+        if download_time > 0:
+            bandwidth.add(plan.total_size_mbit / download_time)
+        event = buffer.advance(download_time)
+        wall_t += download_time
+
+        # Energy (Eq. 1) with the realized download time.
+        energy = SegmentEnergy(
+            transmission_j=energy_model.transmission_energy_from_time_j(
+                download_time
+            ),
+            decoding_j=energy_model.decoding_energy_j(
+                plan.decode_scheme, plan.frame_rate
+            ),
+            rendering_j=energy_model.rendering_energy_j(plan.frame_rate),
+        )
+
+        # What the user actually saw.
+        seg = manifest[k]
+        actual_vp = head_trace.viewport_at(playback_mid, config.fov_deg)
+        coverage = plan.coverage_of(actual_vp)
+        actual_speed = head_trace.speed_quantile_in(
+            k * config.segment_seconds, (k + 1) * config.segment_seconds
+        )
+        alpha = alpha_from_behavior(actual_speed, seg.ti)
+        factor = frame_rate_factor(plan.frame_rate, manifest.fps, alpha)
+        qo_high = qoe.quality.qo(
+            seg.si, seg.ti, seg.qoe_bitrate_mbps(plan.quality)
+        )
+        qo_low = qoe.quality.qo(
+            seg.si, seg.ti, seg.qoe_bitrate_mbps(LOWEST_QUALITY)
+        )
+        qo_effective = (coverage * qo_high + (1.0 - coverage) * qo_low) * factor
+
+        stall_for_qoe = download_time
+        buffer_for_qoe = event.level_before_s
+        if k == 0 and not config.count_startup_stall:
+            stall_for_qoe = 0.0
+        segment_qoe = qoe.segment_qoe(
+            qo_effective, prev_qo, stall_for_qoe, buffer_for_qoe
+        )
+        prev_qo = qo_effective
+
+        result.add(
+            SegmentRecord(
+                index=k,
+                quality=plan.quality,
+                frame_rate=plan.frame_rate,
+                size_mbit=plan.total_size_mbit,
+                download_time_s=download_time,
+                wait_s=event.wait_s,
+                stall_s=0.0 if k == 0 else event.stall_s,
+                buffer_before_s=event.level_before_s,
+                coverage=coverage,
+                qo_effective=qo_effective,
+                qoe=segment_qoe,
+                energy=energy,
+                decode_scheme=plan.decode_scheme,
+                used_ptile=plan.used_ptile,
+            )
+        )
+    return result

@@ -1,0 +1,34 @@
+"""Traces substrate: head movement, synthetic users, network, dataset."""
+
+from .dataset import EvaluationDataset, build_dataset
+from .formats import (
+    load_angle_trace,
+    load_dataset_directory,
+    load_quaternion_trace,
+)
+from .head_movement import HeadTrace
+from .network import NetworkTrace, generate_lte_trace, paper_traces
+from .synthetic_users import (
+    BehaviorParams,
+    RoiPath,
+    generate_roi_path,
+    generate_user_trace,
+    generate_video_traces,
+)
+
+__all__ = [
+    "EvaluationDataset",
+    "build_dataset",
+    "load_angle_trace",
+    "load_dataset_directory",
+    "load_quaternion_trace",
+    "HeadTrace",
+    "NetworkTrace",
+    "generate_lte_trace",
+    "paper_traces",
+    "BehaviorParams",
+    "RoiPath",
+    "generate_roi_path",
+    "generate_user_trace",
+    "generate_video_traces",
+]

@@ -1,0 +1,116 @@
+"""Evaluation dataset assembly.
+
+Bundles the full trace-driven evaluation inputs the paper uses
+(Section V-A): the eight-catalog videos with per-segment content
+features, 48 head-movement traces per video, and the 40/8 random
+train/test user split (40 users' traces construct the Ptiles, the
+remaining 8 drive the evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..video.content import Video, build_catalog
+from .head_movement import HeadTrace
+from .synthetic_users import BehaviorParams, generate_video_traces
+
+__all__ = ["EvaluationDataset", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class EvaluationDataset:
+    """Videos, head-movement traces, and the train/test user split."""
+
+    videos: tuple[Video, ...]
+    traces: dict[int, list[HeadTrace]] = field(repr=False)
+    train_users: dict[int, tuple[int, ...]]
+    test_users: dict[int, tuple[int, ...]]
+
+    def video(self, video_id: int) -> Video:
+        for v in self.videos:
+            if v.meta.video_id == video_id:
+                return v
+        raise KeyError(f"video {video_id} not in dataset")
+
+    def trace(self, video_id: int, user_id: int) -> HeadTrace:
+        for t in self.traces[video_id]:
+            if t.user_id == user_id:
+                return t
+        raise KeyError(f"no trace for user {user_id} on video {video_id}")
+
+    def train_traces(self, video_id: int) -> list[HeadTrace]:
+        users = set(self.train_users[video_id])
+        return [t for t in self.traces[video_id] if t.user_id in users]
+
+    def test_traces(self, video_id: int) -> list[HeadTrace]:
+        users = set(self.test_users[video_id])
+        return [t for t in self.traces[video_id] if t.user_id in users]
+
+    @property
+    def n_users(self) -> int:
+        return len(next(iter(self.traces.values())))
+
+    def all_switching_speeds(self) -> np.ndarray:
+        """Pooled per-sample switching speeds across every trace (Fig. 5)."""
+        speeds = [t.switching_speeds() for ts in self.traces.values() for t in ts]
+        return np.concatenate(speeds)
+
+
+def build_dataset(
+    n_users: int = 48,
+    n_train: int = 40,
+    params: BehaviorParams = BehaviorParams(),
+    seed: int = 2017,
+    video_ids: tuple[int, ...] | None = None,
+    max_duration_s: int | None = None,
+) -> EvaluationDataset:
+    """Build the evaluation dataset.
+
+    ``video_ids`` restricts the catalog (useful for fast tests);
+    ``max_duration_s`` truncates videos (and their traces) to a prefix.
+    The train/test split is a seeded random choice per video, as in the
+    paper ("forty users are randomly selected ... the remaining traces
+    are used for evaluation").
+    """
+    if not (0 < n_train < n_users):
+        raise ValueError("need 0 < n_train < n_users")
+    videos = build_catalog()
+    if video_ids is not None:
+        wanted = set(video_ids)
+        videos = tuple(v for v in videos if v.meta.video_id in wanted)
+        if len(videos) != len(wanted):
+            missing = wanted - {v.meta.video_id for v in videos}
+            raise KeyError(f"unknown video ids {sorted(missing)}")
+    if max_duration_s is not None:
+        videos = tuple(_truncate(v, max_duration_s) for v in videos)
+
+    rng = np.random.default_rng(seed)
+    traces: dict[int, list[HeadTrace]] = {}
+    train_users: dict[int, tuple[int, ...]] = {}
+    test_users: dict[int, tuple[int, ...]] = {}
+    for video in videos:
+        vid = video.meta.video_id
+        traces[vid] = generate_video_traces(video, n_users, params, seed=seed)
+        chosen = rng.permutation(n_users)
+        train_users[vid] = tuple(int(u) for u in sorted(chosen[:n_train]))
+        test_users[vid] = tuple(int(u) for u in sorted(chosen[n_train:]))
+    return EvaluationDataset(
+        videos=videos,
+        traces=traces,
+        train_users=train_users,
+        test_users=test_users,
+    )
+
+
+def _truncate(video: Video, max_duration_s: int) -> Video:
+    if max_duration_s < 1:
+        raise ValueError("truncated duration must be at least one segment")
+    if video.meta.duration_s <= max_duration_s:
+        return video
+    from dataclasses import replace
+
+    meta = replace(video.meta, duration_s=max_duration_s)
+    return Video(meta=meta, segments=video.segments[:max_duration_s])

@@ -1,0 +1,193 @@
+"""Loaders for external head-movement dataset formats.
+
+The evaluation normally runs on the synthetic dataset, but everything
+downstream consumes plain :class:`~repro.traces.head_movement.HeadTrace`
+objects — so users who hold the real Wu et al. MMSys'17 recordings (or
+any similar log) can drop them in through these loaders and run the
+identical pipeline.
+
+Two formats are supported:
+
+* **Quaternion logs** (the MMSys'17 layout): CSV rows of
+  ``timestamp, playback_time, qw, qx, qy, qz, [extra...]`` — one file
+  per (user, video). Orientation quaternions are converted to viewing
+  directions via :mod:`repro.geometry.quaternion`.
+* **Angle logs**: CSV rows of ``t, yaw, pitch`` (the library's native
+  export format, see :meth:`HeadTrace.to_csv`).
+
+Directory loaders assemble a full :class:`EvaluationDataset` from a
+tree laid out as ``<root>/video_<id>/user_<id>.csv``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from ..geometry.quaternion import quaternion_to_angles
+from ..video.content import Video, build_catalog
+from .dataset import EvaluationDataset
+from .head_movement import HeadTrace
+
+__all__ = [
+    "load_quaternion_trace",
+    "load_angle_trace",
+    "load_dataset_directory",
+]
+
+_FILE_PATTERN = re.compile(r"user_(\d+)\.csv$")
+_DIR_PATTERN = re.compile(r"video_(\d+)$")
+
+
+def load_quaternion_trace(
+    path: str | Path,
+    user_id: int = 0,
+    video_id: int = 0,
+    use_playback_time: bool = True,
+) -> HeadTrace:
+    """Load an MMSys'17-style quaternion log.
+
+    Expects a header line followed by comma-separated rows whose first
+    six columns are ``timestamp, playback_time, qw, qx, qy, qz``;
+    further columns are ignored.  ``use_playback_time`` selects the
+    playback-time column (the video-timeline convention the simulator
+    uses); otherwise the wall-clock timestamp is used.  Rows with
+    non-increasing time are dropped (sensor logs often repeat stamps).
+    """
+    path = Path(path)
+    rows: list[tuple[float, float, float]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        header_skipped = False
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if not header_skipped:
+                header_skipped = True
+                if not _is_numeric_row(line):
+                    continue
+            parts = line.split(",")
+            if len(parts) < 6:
+                raise ValueError(
+                    f"{path}: expected >=6 columns, got {len(parts)}"
+                )
+            t = float(parts[1] if use_playback_time else parts[0])
+            quaternion = tuple(float(v) for v in parts[2:6])
+            yaw, pitch = quaternion_to_angles(quaternion)
+            rows.append((t, yaw, pitch))
+    if len(rows) < 2:
+        raise ValueError(f"{path}: need at least two samples")
+
+    rows.sort(key=lambda r: r[0])
+    t = np.array([r[0] for r in rows])
+    keep = np.concatenate([[True], np.diff(t) > 0])
+    t = t[keep]
+    yaw = np.unwrap(np.array([r[1] for r in rows])[keep], period=360.0)
+    pitch = np.clip(np.array([r[2] for r in rows])[keep], -90.0, 90.0)
+    if t.size < 2:
+        raise ValueError(f"{path}: fewer than two strictly increasing stamps")
+    return HeadTrace(
+        user_id=user_id,
+        video_id=video_id,
+        timestamps=t,
+        yaw_unwrapped=yaw,
+        pitch=pitch,
+    )
+
+
+def load_angle_trace(
+    path: str | Path, user_id: int = 0, video_id: int = 0
+) -> HeadTrace:
+    """Load a native ``t,yaw,pitch`` CSV trace."""
+    return HeadTrace.from_csv(path, user_id=user_id, video_id=video_id)
+
+
+def _is_numeric_row(line: str) -> bool:
+    first = line.split(",")[0].strip()
+    try:
+        float(first)
+        return True
+    except ValueError:
+        return False
+
+
+def _detect_format(path: Path) -> str:
+    """'angles' for the native header, 'quaternion' otherwise."""
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline().strip().lower()
+    return "angles" if first == "t,yaw,pitch" else "quaternion"
+
+
+def load_dataset_directory(
+    root: str | Path,
+    n_train: int | None = None,
+    train_fraction: float = 40.0 / 48.0,
+    seed: int = 2017,
+    videos: tuple[Video, ...] | None = None,
+) -> EvaluationDataset:
+    """Assemble an :class:`EvaluationDataset` from a directory tree.
+
+    Layout: ``<root>/video_<id>/user_<id>.csv``, each file either a
+    quaternion log or a native angle trace (auto-detected per file).
+    Video metadata comes from the built-in catalog (or ``videos``);
+    every ``video_<id>`` directory must match a catalog id.  The
+    train/test user split is seeded per video, as in the paper.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"{root} is not a directory")
+    catalog = {v.meta.video_id: v for v in (videos or build_catalog())}
+
+    traces: dict[int, list[HeadTrace]] = {}
+    for video_dir in sorted(root.iterdir()):
+        match = _DIR_PATTERN.search(video_dir.name)
+        if not match or not video_dir.is_dir():
+            continue
+        vid = int(match.group(1))
+        if vid not in catalog:
+            raise KeyError(f"{video_dir}: video id {vid} not in catalog")
+        video_traces = []
+        for file in sorted(video_dir.iterdir()):
+            user_match = _FILE_PATTERN.search(file.name)
+            if not user_match:
+                continue
+            uid = int(user_match.group(1))
+            if _detect_format(file) == "angles":
+                video_traces.append(load_angle_trace(file, uid, vid))
+            else:
+                video_traces.append(load_quaternion_trace(file, uid, vid))
+        if not video_traces:
+            raise ValueError(f"{video_dir}: no user_<id>.csv files")
+        traces[vid] = video_traces
+    if not traces:
+        raise ValueError(f"{root}: no video_<id> directories")
+
+    rng = np.random.default_rng(seed)
+    train_users: dict[int, tuple[int, ...]] = {}
+    test_users: dict[int, tuple[int, ...]] = {}
+    for vid, video_traces in traces.items():
+        user_ids = sorted(t.user_id for t in video_traces)
+        count = n_train if n_train is not None else max(
+            1, int(round(train_fraction * len(user_ids)))
+        )
+        if not (0 < count < len(user_ids)):
+            raise ValueError(
+                f"video {vid}: cannot split {len(user_ids)} users into"
+                f" {count} train + rest"
+            )
+        order = rng.permutation(len(user_ids))
+        chosen = [user_ids[i] for i in order]
+        train_users[vid] = tuple(sorted(chosen[:count]))
+        test_users[vid] = tuple(sorted(chosen[count:]))
+
+    dataset_videos = tuple(
+        catalog[vid] for vid in sorted(traces)
+    )
+    return EvaluationDataset(
+        videos=dataset_videos,
+        traces=traces,
+        train_users=train_users,
+        test_users=test_users,
+    )

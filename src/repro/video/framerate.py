@@ -1,0 +1,70 @@
+"""Frame-rate ladders for Ptile encoding.
+
+For each Ptile the paper constructs, besides the original-frame-rate
+version, three variants that drop {10 %, 20 %, 30 %} of the frames
+(Section V-A).  Frame rates are indexed 1..F with F the highest
+(Section III-A), so with the 30 fps source the ladder is
+``1 -> 21 fps, 2 -> 24 fps, 3 -> 27 fps, 4 -> 30 fps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FrameRateLadder", "DEFAULT_LADDER"]
+
+
+@dataclass(frozen=True)
+class FrameRateLadder:
+    """The discrete frame rates available for a Ptile.
+
+    ``reductions`` lists the fraction of frames removed for each rung
+    *below* the original rate; the ladder always includes the original
+    rate as its top rung.
+    """
+
+    fps: float = 30.0
+    reductions: tuple[float, ...] = (0.3, 0.2, 0.1)
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+        for r in self.reductions:
+            if not (0.0 < r < 1.0):
+                raise ValueError(f"reduction {r} outside (0, 1)")
+        if tuple(sorted(self.reductions, reverse=True)) != self.reductions:
+            raise ValueError("reductions must be sorted descending")
+        if len(set(self.reductions)) != len(self.reductions):
+            raise ValueError("reductions must be distinct")
+
+    @property
+    def num_levels(self) -> int:
+        """F, the number of frame-rate indices (reductions + original)."""
+        return len(self.reductions) + 1
+
+    def rates(self) -> tuple[float, ...]:
+        """All frame rates, ascending, index 1 first."""
+        reduced = tuple(self.fps * (1.0 - r) for r in self.reductions)
+        return reduced + (self.fps,)
+
+    def rate(self, index: int) -> float:
+        """Frame rate for a 1-based index (F = original rate)."""
+        rates = self.rates()
+        if not (1 <= index <= len(rates)):
+            raise ValueError(f"frame-rate index {index} outside 1..{len(rates)}")
+        return rates[index - 1]
+
+    @property
+    def max_index(self) -> int:
+        return self.num_levels
+
+    def index_of(self, rate: float) -> int:
+        """1-based index of an exact ladder rate."""
+        for i, r in enumerate(self.rates(), start=1):
+            if abs(r - rate) < 1e-9:
+                return i
+        raise ValueError(f"{rate} is not a ladder rate {self.rates()}")
+
+
+DEFAULT_LADDER = FrameRateLadder()
+"""30 fps ladder with the paper's 10/20/30 % reductions."""

@@ -1,0 +1,119 @@
+"""Encoded-segment manifests.
+
+A manifest answers "how many megabits is this region of this segment at
+this quality (and frame rate)?" — the metadata a streaming client
+downloads ahead of time (the paper's MPC algorithm fetches metadata for
+the next H segments during startup, Section IV-C).
+
+Manifests bind a :class:`~repro.video.content.Video` to an
+:class:`~repro.video.encoder.EncoderModel` and key every size query with
+a deterministic noise key, so every component (client simulation, MPC
+planner, benchmarks) sees identical sizes for identical regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..geometry.tiling import Tile, TileGrid
+from .content import Video
+from .encoder import EncoderModel
+
+__all__ = ["SegmentManifest", "VideoManifest"]
+
+
+@dataclass(frozen=True)
+class SegmentManifest:
+    """Size oracle for one video segment."""
+
+    video_id: int
+    segment_index: int
+    si: float
+    ti: float
+    encoder: EncoderModel = field(repr=False)
+
+    @property
+    def grid(self) -> TileGrid:
+        return self.encoder.grid
+
+    def tile_size_mbit(self, tile: Tile, quality: float) -> float:
+        """Size of one conventional grid tile at a quality level."""
+        key = (self.video_id, self.segment_index, "tile", tile.row, tile.col)
+        return self.encoder.tile_size_mbit(quality, self.si, self.ti, noise_key=key)
+
+    def tiles_size_mbit(self, tiles: Iterable[Tile], quality: float) -> float:
+        """Total size of a set of separately encoded conventional tiles."""
+        return sum(self.tile_size_mbit(t, quality) for t in tiles)
+
+    def region_size_mbit(
+        self,
+        region_key: str,
+        area_fraction: float,
+        quality: float,
+        *,
+        frame_rate: float | None = None,
+        fps: float = 30.0,
+    ) -> float:
+        """Size of an arbitrary region encoded as a single tile.
+
+        ``region_key`` identifies the region (e.g. ``"ptile-0"``) so its
+        encoder noise is stable across queries and quality levels.
+        """
+        key = (self.video_id, self.segment_index, region_key)
+        return self.encoder.region_size_mbit(
+            quality,
+            self.si,
+            self.ti,
+            area_fraction,
+            frame_rate=frame_rate,
+            fps=fps,
+            noise_key=key,
+        )
+
+    def full_frame_size_mbit(self, quality: float) -> float:
+        """Size of the whole frame encoded as a single tile (Nontile)."""
+        return self.region_size_mbit("frame", 1.0, quality)
+
+    def fov_bitrate_mbps(self, quality: float, n_fov_tiles: int = 9) -> float:
+        """Raw FoV bitrate share at a quality level."""
+        return self.encoder.fov_bitrate_mbps(quality, self.si, self.ti, n_fov_tiles)
+
+    def qoe_bitrate_mbps(self, quality: float, n_fov_tiles: int = 9) -> float:
+        """Perceptually linearized bitrate fed to the Eq. 3 QoE model."""
+        return self.encoder.qoe_bitrate_mbps(quality, self.si, self.ti, n_fov_tiles)
+
+
+class VideoManifest:
+    """Per-video sequence of segment manifests."""
+
+    def __init__(self, video: Video, encoder: EncoderModel):
+        self.video = video
+        self.encoder = encoder
+        self._segments = tuple(
+            SegmentManifest(
+                video_id=video.meta.video_id,
+                segment_index=seg.index,
+                si=seg.si,
+                ti=seg.ti,
+                encoder=encoder,
+            )
+            for seg in video.segments
+        )
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __getitem__(self, index: int) -> SegmentManifest:
+        return self._segments[index]
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def fps(self) -> float:
+        return float(self.video.meta.fps)

@@ -1,0 +1,109 @@
+"""Server-side storage accounting for the encoding ladder.
+
+Ptiles are not free for the provider: besides the 32 conventional tiles
+x V qualities every scheme stores, each constructed Ptile is encoded at
+V qualities x F frame rates plus its remainder blocks.  This module
+computes the bytes a video occupies on the origin server under each
+scheme — the classic storage-for-bandwidth trade-off the paper's
+approach implies but does not evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .encoder import QUALITY_LEVELS
+from .framerate import DEFAULT_LADDER, FrameRateLadder
+from .segments import VideoManifest
+
+if TYPE_CHECKING:  # avoid a video <-> ptile import cycle
+    from ..ptile.construction import SegmentPtiles
+
+__all__ = ["StorageReport", "storage_report"]
+
+_MBIT_TO_GBYTE = 1.0 / 8.0 / 1024.0
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Per-scheme origin storage for one video (megabits)."""
+
+    video_id: int
+    ctile_mbit: float  # 32 tiles x V qualities
+    nontile_mbit: float  # whole frame x V qualities
+    ptile_extra_mbit: float  # Ptiles x V x F + remainder blocks
+    num_ptiles: int
+
+    @property
+    def ptile_total_mbit(self) -> float:
+        """Ptile deployments keep the conventional tiles for fallback."""
+        return self.ctile_mbit + self.ptile_extra_mbit
+
+    @property
+    def overhead_factor(self) -> float:
+        """Ptile storage relative to a plain Ctile deployment."""
+        return self.ptile_total_mbit / self.ctile_mbit
+
+    def gbytes(self, which: str = "ptile") -> float:
+        values = {
+            "ctile": self.ctile_mbit,
+            "nontile": self.nontile_mbit,
+            "ptile": self.ptile_total_mbit,
+        }
+        if which not in values:
+            raise KeyError(f"unknown scheme {which!r}")
+        return values[which] * _MBIT_TO_GBYTE
+
+    def report(self) -> list[str]:
+        return [
+            f"Storage, video {self.video_id}:",
+            f"  ctile   {self.ctile_mbit:9.0f} Mbit ({self.gbytes('ctile'):.2f} GB)",
+            f"  nontile {self.nontile_mbit:9.0f} Mbit"
+            f" ({self.gbytes('nontile'):.2f} GB)",
+            f"  ptile   {self.ptile_total_mbit:9.0f} Mbit"
+            f" ({self.gbytes('ptile'):.2f} GB,"
+            f" {self.overhead_factor:.2f}x ctile,"
+            f" {self.num_ptiles} Ptiles)",
+        ]
+
+
+def storage_report(
+    manifest: VideoManifest,
+    ptiles: list[SegmentPtiles],
+    ladder: FrameRateLadder = DEFAULT_LADDER,
+) -> StorageReport:
+    """Compute origin storage for one video under each scheme."""
+    if len(ptiles) != manifest.num_segments:
+        raise ValueError("ptiles must cover every segment")
+    ctile = 0.0
+    nontile = 0.0
+    ptile_extra = 0.0
+    count = 0
+    for seg in manifest:
+        for quality in QUALITY_LEVELS:
+            ctile += seg.tiles_size_mbit(seg.grid.tiles(), quality)
+            nontile += seg.full_frame_size_mbit(quality)
+        sp = ptiles[seg.segment_index]
+        for ptile in sp.ptiles:
+            count += 1
+            for quality in QUALITY_LEVELS:
+                for rate in ladder.rates():
+                    ptile_extra += seg.region_size_mbit(
+                        ptile.region_key,
+                        ptile.area_fraction,
+                        quality,
+                        frame_rate=rate,
+                        fps=manifest.fps,
+                    )
+                for block in sp.remainder_for(ptile):
+                    ptile_extra += seg.region_size_mbit(
+                        block.key, block.area_fraction, 1
+                    )
+    return StorageReport(
+        video_id=manifest.video.meta.video_id,
+        ctile_mbit=ctile,
+        nontile_mbit=nontile,
+        ptile_extra_mbit=ptile_extra,
+        num_ptiles=count,
+    )

@@ -1,0 +1,19 @@
+"""Terminal visualization: ASCII charts for the paper's figures."""
+
+from .ascii import (
+    bar_chart,
+    cdf_plot,
+    heatmap,
+    line_plot,
+    sparkline,
+    tile_grid_map,
+)
+
+__all__ = [
+    "bar_chart",
+    "cdf_plot",
+    "heatmap",
+    "line_plot",
+    "sparkline",
+    "tile_grid_map",
+]

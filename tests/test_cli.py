@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8"])
+        assert args.experiment == "fig8"
+        assert args.duration == 120
+        assert args.users == 2
+
+    def test_custom_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fig9", "--duration", "30", "--users", "1", "--device", "galaxys20"]
+        )
+        assert args.duration == 30
+        assert args.device == "galaxys20"
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "1429.08" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Freestyle Skiing" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2(a)" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--duration", "15"]) == 0
+        assert "switching speed" in capsys.readouterr().out
+
+    def test_fig9_tiny(self, capsys):
+        assert main(["fig9", "--duration", "12", "--users", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized by Ctile" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "oversized-cluster" in out
+        assert "with bound: 2" in out

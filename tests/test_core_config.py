@@ -1,0 +1,43 @@
+"""Unit tests for the central StreamingConfig."""
+
+import pytest
+
+from repro.core import StreamingConfig
+
+
+class TestStreamingConfig:
+    def test_paper_defaults(self):
+        cfg = StreamingConfig()
+        assert cfg.segment_seconds == 1.0
+        assert (cfg.grid_rows, cfg.grid_cols) == (4, 8)
+        assert cfg.fov_deg == 100.0
+        assert cfg.buffer_threshold_s == 3.0
+        assert cfg.qualities == (1, 2, 3, 4, 5)
+        assert cfg.qoe_tolerance == 0.05
+        assert cfg.mpc_horizon == 5
+        assert (cfg.n_users, cfg.n_train_users) == (48, 40)
+
+    def test_make_grid(self):
+        grid = StreamingConfig().make_grid()
+        assert grid.num_tiles == 32
+
+    def test_make_ptile_config(self):
+        pcfg = StreamingConfig().make_ptile_config()
+        grid = StreamingConfig().make_grid()
+        assert pcfg.resolved_sigma(grid) == 45.0
+        assert pcfg.resolved_delta(grid) == pytest.approx(45.0 / 4)
+
+    def test_make_mpc_config(self):
+        mpc = StreamingConfig().make_mpc_config()
+        assert mpc.horizon == 5
+        assert mpc.buffer_granularity_s == 0.5
+        assert mpc.qoe_tolerance == 0.05
+
+    def test_frame_rate_ladder(self):
+        cfg = StreamingConfig()
+        assert cfg.ladder.rates() == (21.0, 24.0, 27.0, 30.0)
+
+    def test_qoe_weights(self):
+        cfg = StreamingConfig()
+        assert cfg.qoe_weights.variation == 1.0
+        assert cfg.qoe_weights.rebuffering == 1.0

@@ -1,0 +1,155 @@
+"""Unit tests for the MPC + DP optimizer (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnergyQoEMpc, MpcConfig, MpcSegment
+from repro.power import EnergyModel, PIXEL_3
+
+RATES = (21.0, 24.0, 27.0, 30.0)
+
+
+def make_segment(base_size=1.0, alpha=5.0, qoe_top=90.0):
+    """5 qualities x 4 frame rates with plausible structure."""
+    sizes = np.empty((5, 4))
+    qoe = np.empty((5, 4))
+    for vi in range(5):
+        size_v = base_size * (1.6 ** vi)
+        qo = qoe_top - (4 - vi) * 12.0
+        for fi, rate in enumerate(RATES):
+            sizes[vi, fi] = size_v * (1 - 0.6 * (1 - rate / 30.0))
+            factor = (1 - np.exp(-alpha * rate / 30.0)) / (1 - np.exp(-alpha))
+            qoe[vi, fi] = qo * factor
+    return MpcSegment(sizes_mbit=sizes, qoe=qoe, frame_rates=RATES)
+
+
+@pytest.fixture
+def mpc():
+    return EnergyQoEMpc(EnergyModel(PIXEL_3), MpcConfig())
+
+
+class TestMpcConfig:
+    def test_paper_defaults(self):
+        cfg = MpcConfig()
+        assert cfg.horizon == 5
+        assert cfg.buffer_granularity_s == 0.5
+        assert cfg.qoe_tolerance == 0.05
+
+    def test_state_levels(self):
+        cfg = MpcConfig()
+        levels = cfg.state_levels()
+        assert levels[0] == 0.0
+        assert levels[-1] == 3.0
+        assert len(levels) == 7  # 500 ms granularity over [0, 3]
+
+    def test_snap(self):
+        cfg = MpcConfig()
+        assert cfg.snap(0.0) == 0
+        assert cfg.snap(1.26) == 3
+        assert cfg.snap(99.0) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MpcConfig(horizon=0)
+        with pytest.raises(ValueError):
+            MpcConfig(qoe_tolerance=1.0)
+        with pytest.raises(ValueError):
+            MpcConfig(buffer_granularity_s=0.0)
+
+
+class TestMpcSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MpcSegment(np.ones((5, 4)), np.ones((5, 3)), RATES)
+        with pytest.raises(ValueError):
+            MpcSegment(np.zeros((5, 4)), np.ones((5, 4)), RATES)
+        with pytest.raises(ValueError):
+            MpcSegment(np.ones((5, 3)), np.ones((5, 3)), RATES)
+
+
+class TestChoice:
+    def test_returns_valid_decision(self, mpc):
+        decision = mpc.choose([make_segment()] * 5, 4.0, 3.0)
+        assert 1 <= decision.quality <= 5
+        assert 1 <= decision.frame_rate_index <= 4
+        assert decision.frame_rate in RATES
+        assert decision.planned_energy_j > 0
+
+    def test_fast_switching_reduces_frame_rate(self, mpc):
+        """Large alpha makes frame reduction QoE-free, so the energy
+        minimizer takes it."""
+        decision = mpc.choose([make_segment(alpha=50.0)] * 5, 4.0, 3.0)
+        assert decision.frame_rate < 30.0
+
+    def test_static_gaze_keeps_frame_rate(self, mpc):
+        decision = mpc.choose([make_segment(alpha=0.2)] * 5, 4.0, 3.0)
+        assert decision.frame_rate == 30.0
+
+    def test_qoe_floor_respected(self, mpc):
+        """The chosen version satisfies constraint (8c) against the
+        sustainable-best version."""
+        segment = make_segment(alpha=3.0)
+        bandwidth = 4.0 * 0.9  # after the safety discount
+        decision = mpc.choose([segment] * 5, 4.0, 3.0)
+        vm = 0
+        for v in range(5, 0, -1):
+            if segment.sizes_mbit[v - 1, 3] / bandwidth <= 1.0:
+                vm = v
+                break
+        floor = 0.95 * segment.qoe[vm - 1, 3]
+        chosen = segment.qoe[decision.quality - 1, decision.frame_rate_index - 1]
+        assert chosen >= floor - 1e-9
+
+    def test_no_stall_constraint(self, mpc):
+        """With a tiny buffer, only small downloads are feasible."""
+        decision = mpc.choose([make_segment()] * 5, 4.0, 0.5)
+        size = make_segment().sizes_mbit[
+            decision.quality - 1, decision.frame_rate_index - 1
+        ]
+        assert size / (4.0 * 0.9) <= 0.5 + 1e-9 or decision.quality == 1
+
+    def test_higher_bandwidth_higher_quality(self, mpc):
+        low = mpc.choose([make_segment()] * 5, 1.0, 3.0)
+        high = mpc.choose([make_segment()] * 5, 20.0, 3.0)
+        assert high.quality >= low.quality
+
+    def test_cold_start_relaxes_to_lowest(self, mpc):
+        decision = mpc.choose([make_segment(base_size=10.0)] * 5, 1.0, 0.0)
+        assert decision.quality == 1
+
+    def test_energy_minimal_among_feasible(self, mpc):
+        """With one segment and saturated QoE, the cheapest version wins."""
+        segment = make_segment(alpha=50.0, qoe_top=90.0)
+        # Make all qualities equal-QoE so only energy matters.
+        flat = MpcSegment(
+            sizes_mbit=segment.sizes_mbit,
+            qoe=np.full_like(segment.qoe, 90.0),
+            frame_rates=RATES,
+        )
+        mpc1 = EnergyQoEMpc(EnergyModel(PIXEL_3), MpcConfig(horizon=1))
+        decision = mpc1.choose([flat], 10.0, 3.0)
+        assert decision.quality == 1
+        assert decision.frame_rate == 21.0
+
+    def test_horizon_truncates(self, mpc):
+        decision = mpc.choose([make_segment()] * 10, 4.0, 3.0)
+        assert decision.planned_energy_j > 0
+
+    def test_short_lookahead_ok(self, mpc):
+        decision = mpc.choose([make_segment()], 4.0, 3.0)
+        assert 1 <= decision.quality <= 5
+
+    def test_validation(self, mpc):
+        with pytest.raises(ValueError):
+            mpc.choose([], 4.0, 3.0)
+        with pytest.raises(ValueError):
+            mpc.choose([make_segment()], 0.0, 3.0)
+
+    def test_complexity_is_bounded(self, mpc):
+        """O(H V F) per state: a long horizon stays fast."""
+        import time
+
+        start = time.perf_counter()
+        for _ in range(50):
+            mpc.choose([make_segment()] * 5, 4.0, 3.0)
+        assert time.perf_counter() - start < 2.0

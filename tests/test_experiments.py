@@ -1,0 +1,176 @@
+"""Tests for the experiment runners (small-scale sanity of each figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_MEDIANS,
+    make_schemes,
+    make_setup,
+    run_comparison,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_table2,
+    summarize_energy,
+    summarize_qoe,
+    table1_rows,
+    table3_rows,
+)
+from repro.power import GALAXY_S20, PIXEL_3
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    return make_setup(max_duration_s=25, n_users=16, n_train=12,
+                      video_ids=(2, 8))
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tiny_setup):
+    return run_comparison(tiny_setup, PIXEL_3, users_per_video=2)
+
+
+class TestSetup:
+    def test_caches_manifests(self, tiny_setup):
+        assert tiny_setup.manifest(2) is tiny_setup.manifest(2)
+        assert tiny_setup.ptiles(2) is tiny_setup.ptiles(2)
+        assert tiny_setup.ftiles(2) is tiny_setup.ftiles(2)
+
+    def test_trace_pair(self, tiny_setup):
+        traces = tiny_setup.traces()
+        assert set(traces) == {"trace1", "trace2"}
+        assert traces["trace1"].mean_mbps == pytest.approx(
+            2 * traces["trace2"].mean_mbps
+        )
+
+    def test_make_schemes(self):
+        schemes = make_schemes(PIXEL_3)
+        assert set(schemes) == {"ctile", "ftile", "nontile", "ptile", "ours"}
+
+    def test_unknown_scheme_rejected(self, tiny_setup):
+        with pytest.raises(KeyError):
+            run_comparison(tiny_setup, PIXEL_3, scheme_names=("bogus",))
+
+
+class TestComparisonMatrix:
+    def test_matrix_shape(self, tiny_results):
+        traces = {k[0] for k in tiny_results}
+        schemes = {k[1] for k in tiny_results}
+        videos = {k[2] for k in tiny_results}
+        assert traces == {"trace1", "trace2"}
+        assert len(schemes) == 5
+        assert videos == {2, 8}
+        for sessions in tiny_results.values():
+            assert len(sessions) == 2
+
+    def test_energy_summary_ordering(self, tiny_results):
+        summary = summarize_energy(tiny_results, "Pixel 3")
+        norm = summary.normalized()
+        assert norm["ctile"] == pytest.approx(1.0)
+        # Paper's headline ordering.
+        assert norm["ours"] < norm["ptile"] < 1.0
+        assert norm["ptile"] < norm["ftile"]
+
+    def test_energy_breakdown_components(self, tiny_results):
+        summary = summarize_energy(tiny_results, "Pixel 3")
+        breakdown = summary.breakdown_for(8, "trace2")
+        for scheme, (t, d, r) in breakdown.items():
+            assert t > 0 and d > 0 and r > 0
+        # Ptile decodes with one decoder: cheapest decoding.
+        assert breakdown["ours"][1] < breakdown["ctile"][1]
+
+    def test_qoe_summary_ordering(self, tiny_results):
+        summary = summarize_qoe(tiny_results)
+        norm = summary.normalized("trace2")
+        assert norm["ptile"] > 1.0  # Ptile beats Ctile on QoE
+
+    def test_reports_render(self, tiny_results):
+        energy = summarize_energy(tiny_results, "Pixel 3")
+        qoe = summarize_qoe(tiny_results)
+        assert any("normalized" in line for line in energy.report())
+        assert any("trace2" in line for line in qoe.report())
+
+
+class TestFig2:
+    def test_headline_numbers(self):
+        result = run_fig2(segments_per_video=5)
+        assert result.transmission_ratio == pytest.approx(0.62, abs=0.05)
+        assert result.processing_saving_vs(4) > 0.3
+        assert result.decode_times_s[1] == pytest.approx(1.3)
+        assert len(result.report()) > 5
+
+
+class TestFig4:
+    def test_surface_monotone(self):
+        result = run_fig4(segments_per_video=5)
+        # Qo rises with bitrate (columns) and falls with TI (rows).
+        surface = result.surface_qo
+        assert np.all(np.diff(surface, axis=1) > 0)
+        assert np.all(np.diff(surface, axis=0) < 0)
+
+    def test_scatter_covers_catalog(self):
+        result = run_fig4(segments_per_video=5)
+        assert result.si.size == 8 * 5
+        assert result.report()
+
+
+class TestFig5:
+    def test_speed_distribution(self, tiny_setup):
+        result = run_fig5(tiny_setup.dataset)
+        assert 0.15 < result.fraction_above_10 < 0.8
+        grid, cdf = result.cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] <= 1.0
+
+
+class TestFig7:
+    def test_stats_per_video(self, tiny_setup):
+        result = run_fig7(tiny_setup)
+        assert set(result.stats) == {2, 8}
+        for stats in result.stats.values():
+            assert 0 <= stats.covered_fraction <= 1
+        assert result.report()
+
+
+class TestFig8:
+    def test_medians_match_paper(self):
+        result = run_fig8(segments_per_video=40)
+        for q, paper in PAPER_MEDIANS.items():
+            assert result.median(q) == pytest.approx(paper, abs=0.03)
+
+    def test_cdf_shape(self):
+        result = run_fig8(segments_per_video=10)
+        grid, cdf = result.cdf(3)
+        assert np.all(np.diff(cdf) >= 0)
+
+
+class TestTables:
+    def test_table1_layout(self):
+        rows = table1_rows()
+        assert any("1429.08" in r for r in rows)
+        assert any("ptile" in r for r in rows)
+
+    def test_table2_recovery(self):
+        result = run_table2()
+        assert result.fit.pearson_r > 0.97
+        assert result.coefficient_errors["c3"] < 0.02
+        assert result.report()
+
+    def test_table3_catalog(self):
+        rows = table3_rows()
+        assert any("Basketball Match" in r for r in rows)
+        assert any("6:01" in r for r in rows)
+
+
+class TestDeviceSweep:
+    def test_other_device_keeps_ordering(self, tiny_setup):
+        results = run_comparison(
+            tiny_setup, GALAXY_S20, users_per_video=1, video_ids=(2,),
+            scheme_names=("ctile", "ptile", "ours"),
+        )
+        summary = summarize_energy(results, GALAXY_S20.name)
+        norm = summary.normalized()
+        assert norm["ours"] <= norm["ptile"] < 1.0

@@ -1,0 +1,66 @@
+"""Fast unit tests for the ablation helpers (full sweeps run in
+benchmarks/test_ablations.py)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    AblationPoint,
+    make_setup,
+    sweep_clustering_sigma,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    return make_setup(max_duration_s=15, n_users=16, n_train=12,
+                      video_ids=(8,))
+
+
+class TestAblationPoint:
+    def test_report_formats_extras(self):
+        point = AblationPoint("x", 1.234, 56.7, 0.0, extra={"fps": 24.0})
+        line = point.report()
+        assert "1.234" in line
+        assert "fps=24" in line
+
+    def test_report_without_extras(self):
+        line = AblationPoint("y", 1.0, 2.0, 3.0).report()
+        assert "y" in line and "rebuffers" in line
+
+
+class TestSigmaSweep:
+    def test_areas_monotone_in_sigma(self, tiny_setup):
+        points = sweep_clustering_sigma(tiny_setup, video_id=8)
+        areas = [p.extra["mean_area"] for p in points]
+        assert areas == sorted(areas)
+
+    def test_streaming_metrics_nan(self, tiny_setup):
+        points = sweep_clustering_sigma(
+            tiny_setup, sigma_factors=(1.0,), video_id=8
+        )
+        assert math.isnan(points[0].energy_per_segment_j)
+
+    def test_labels_carry_sigma(self, tiny_setup):
+        points = sweep_clustering_sigma(
+            tiny_setup, sigma_factors=(0.5, 2.0), video_id=8
+        )
+        assert points[0].label.startswith("sigma=22")
+        assert points[1].label.startswith("sigma=90")
+
+
+class TestRenderedViewSupply:
+    def test_ptile_supplies_rendered_view(self, ptiles2):
+        """Cross-module: the gnomonic renderer's sampled directions fall
+        inside the Ptile for a viewport centered on its cluster."""
+        from repro.geometry import ViewRenderer, Viewport
+
+        sp = next(sp for sp in ptiles2 if sp.num_ptiles > 0)
+        ptile = sp.ptiles[0]
+        yaw, pitch = ptile.cluster.centroid()
+        renderer = ViewRenderer(17, 17)
+        fraction = renderer.coverage_fraction(
+            Viewport(yaw, pitch, 80.0, 80.0), ptile.contains
+        )
+        assert fraction > 0.85

@@ -1,0 +1,62 @@
+"""Tests for the Fig. 6 experiment and the full-report generator."""
+
+import pytest
+
+from repro.experiments import (
+    ReportConfig,
+    generate_report,
+    make_wide_cluster,
+    run_fig6,
+)
+
+
+class TestFig6:
+    def test_wide_cluster_shape(self):
+        centers = make_wide_cluster(n_users=20, span_deg=70.0)
+        assert len(centers) == 20
+        yaws = [c.yaw for c in centers]
+        assert max(yaws) - min(yaws) == pytest.approx(70.0)
+
+    def test_split_demonstrated(self):
+        result = run_fig6()
+        assert result.unbounded.num_ptiles == 1
+        assert result.bounded.num_ptiles == 2
+        assert max(result.unbounded_diameters) > result.sigma
+        assert all(d <= result.sigma for d in result.bounded_diameters)
+
+    def test_report_contains_maps(self):
+        lines = run_fig6().report()
+        assert any("A" in ln and "B" in ln for ln in lines)
+
+    def test_deterministic(self):
+        a = run_fig6()
+        b = run_fig6()
+        assert a.bounded_diameters == b.bounded_diameters
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        config = ReportConfig(
+            max_duration_s=12, users_per_video=1, video_ids=(2,)
+        )
+        return generate_report(config)
+
+    def test_all_sections_present(self, report_text):
+        for section in (
+            "Table I", "Table II", "Table III", "Fig. 2", "Fig. 5",
+            "Fig. 7", "Fig. 8", "Figs. 9-11",
+        ):
+            assert section in report_text
+
+    def test_charts_rendered(self, report_text):
+        assert "█" in report_text  # bar charts
+        assert "normalized by Ctile" in report_text
+
+    def test_written_to_disk(self, tmp_path):
+        config = ReportConfig(
+            max_duration_s=10, users_per_video=1, video_ids=(2,)
+        )
+        path = tmp_path / "report.md"
+        text = generate_report(config, path=path)
+        assert path.read_text(encoding="utf-8") == text

@@ -1,0 +1,111 @@
+"""Unit tests for viewport geometry (FoV rectangles, wraparound)."""
+
+import pytest
+
+from repro.geometry import DEFAULT_FOV_DEG, Rect, Viewport
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(10, -20, 40, 10)
+        assert r.width == 30
+        assert r.height == 30
+        assert r.area == 900
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(10, 0, 5, 10)
+        with pytest.raises(ValueError):
+            Rect(0, 10, 10, 5)
+
+    def test_contains_boundary_closed(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(0, 0)
+        assert r.contains(10, 10)
+        assert not r.contains(10.01, 5)
+
+    def test_overlap_positive_area_only(self):
+        a = Rect(0, 0, 10, 10)
+        touching = Rect(10, 0, 20, 10)
+        overlapping = Rect(9, 9, 20, 20)
+        assert not a.overlaps(touching)  # zero-area contact
+        assert a.overlaps(overlapping)
+
+    def test_intersection_area(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection_area(b) == pytest.approx(25.0)
+        assert a.intersection_area(Rect(20, 20, 30, 30)) == 0.0
+
+    def test_intersection_symmetric(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(-5, -5, 3, 3)
+        assert a.intersection_area(b) == pytest.approx(b.intersection_area(a))
+
+
+class TestViewport:
+    def test_default_fov(self):
+        vp = Viewport(180, 0)
+        assert vp.fov_h == DEFAULT_FOV_DEG
+        assert vp.fov_v == DEFAULT_FOV_DEG
+
+    def test_yaw_normalized(self):
+        assert Viewport(370, 0).yaw == pytest.approx(10.0)
+        assert Viewport(-10, 0).yaw == pytest.approx(350.0)
+
+    def test_pitch_clamped(self):
+        assert Viewport(0, 120).pitch == 90.0
+        assert Viewport(0, -120).pitch == -90.0
+
+    def test_invalid_fov_rejected(self):
+        with pytest.raises(ValueError):
+            Viewport(0, 0, fov_h=0.0)
+        with pytest.raises(ValueError):
+            Viewport(0, 0, fov_v=200.0)
+
+    def test_central_viewport_single_rect(self):
+        rects = Viewport(180, 0).rects()
+        assert len(rects) == 1
+        r = rects[0]
+        assert r.x0 == pytest.approx(130)
+        assert r.x1 == pytest.approx(230)
+        assert r.y0 == pytest.approx(-50)
+        assert r.y1 == pytest.approx(50)
+
+    def test_seam_viewport_splits(self):
+        rects = Viewport(10, 0).rects()
+        assert len(rects) == 2
+        total_width = sum(r.width for r in rects)
+        assert total_width == pytest.approx(100.0)
+
+    def test_seam_right_edge(self):
+        rects = Viewport(350, 0).rects()
+        assert len(rects) == 2
+        assert sum(r.width for r in rects) == pytest.approx(100.0)
+
+    def test_pole_viewport_clamped_vertically(self):
+        vp = Viewport(180, 80)
+        (rect,) = vp.rects()
+        assert rect.y1 == 90.0
+        assert rect.y0 == pytest.approx(30.0)
+        assert vp.area == pytest.approx(100.0 * 60.0)
+
+    def test_contains_center(self):
+        vp = Viewport(200, -10)
+        assert vp.contains(200, -10)
+
+    def test_contains_across_seam(self):
+        vp = Viewport(5, 0)
+        assert vp.contains(350, 0)
+        assert vp.contains(20, 0)
+        assert not vp.contains(180, 0)
+
+    def test_area_fraction(self):
+        vp = Viewport(180, 0)
+        assert vp.area_fraction() == pytest.approx((100 * 100) / (360 * 180))
+
+    def test_full_wrap_fov(self):
+        vp = Viewport(0, 0, fov_h=360.0, fov_v=180.0)
+        (rect,) = vp.rects()
+        assert rect.width == pytest.approx(360.0)
+        assert vp.area_fraction() == pytest.approx(1.0)

@@ -1,0 +1,176 @@
+"""Cross-module integration and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CtileScheme,
+    EncoderModel,
+    NontileScheme,
+    OursScheme,
+    PIXEL_3,
+    PtileScheme,
+    VideoManifest,
+    build_video_ptiles,
+    run_session,
+)
+from repro.qoe import QoEModel, QoEWeights
+from repro.streaming import SessionConfig
+from repro.geometry import DEFAULT_GRID
+from repro.traces import NetworkTrace
+
+
+class TestNetworkFailureInjection:
+    """Sessions survive hostile network conditions."""
+
+    def test_bandwidth_cliff_causes_stalls_not_crashes(
+        self, small_dataset, manifest2, device
+    ):
+        # 8 Mbps collapsing to 0.3 Mbps: the client must stall and
+        # recover, never crash or corrupt its buffer accounting.
+        cliff = NetworkTrace(
+            "cliff", np.concatenate([np.full(10, 8.0), np.full(30, 0.3)])
+        )
+        result = run_session(
+            CtileScheme(), manifest2, small_dataset.test_traces(2)[0],
+            cliff, device,
+        )
+        assert result.num_segments == manifest2.num_segments
+        assert result.rebuffer_count > 0
+        for record in result.records:
+            assert record.buffer_before_s >= 0.0
+
+    def test_starvation_floor_quality(self, small_dataset, manifest2, device):
+        starved = NetworkTrace("starved", np.full(40, 0.25))
+        result = run_session(
+            CtileScheme(), manifest2, small_dataset.test_traces(2)[0],
+            starved, device, config=SessionConfig(max_segments=10),
+        )
+        assert result.mean_quality_level == 1.0
+
+    def test_gigabit_saturates_ladder(self, small_dataset, manifest2, device):
+        fat = NetworkTrace("fat", np.full(40, 1000.0))
+        result = run_session(
+            CtileScheme(), manifest2, small_dataset.test_traces(2)[0],
+            fat, device, config=SessionConfig(max_segments=10),
+        )
+        assert result.mean_quality_level == pytest.approx(5.0, abs=0.5)
+
+    def test_oscillating_network(self, small_dataset, manifest2, device):
+        square = NetworkTrace(
+            "square", np.tile([8.0, 8.0, 1.0, 1.0], 10)
+        )
+        result = run_session(
+            NontileScheme(), manifest2, small_dataset.test_traces(2)[0],
+            square, device,
+        )
+        assert result.total_energy_j > 0
+
+
+class TestSchemeConsistency:
+    """Invariants that must hold across any scheme on the same inputs."""
+
+    @pytest.fixture(scope="class")
+    def all_results(self, small_dataset, manifest2, ptiles2, ftiles2,
+                    network_traces, device):
+        from repro.streaming import FtileScheme
+
+        schemes = [
+            CtileScheme(), FtileScheme(), NontileScheme(), PtileScheme(),
+            OursScheme(device=device),
+        ]
+        head = small_dataset.test_traces(2)[0]
+        return {
+            s.name: run_session(
+                s, manifest2, head, network_traces[1], device,
+                ptiles=ptiles2, ftiles=ftiles2,
+            )
+            for s in schemes
+        }
+
+    def test_every_scheme_completes(self, all_results, manifest2):
+        for result in all_results.values():
+            assert result.num_segments == manifest2.num_segments
+
+    def test_energy_ordering(self, all_results):
+        """The paper's Fig. 9 ordering on a single session."""
+        energy = {name: r.total_energy_j for name, r in all_results.items()}
+        assert energy["ours"] <= energy["ptile"] * 1.02
+        assert energy["ptile"] < energy["ctile"]
+        assert energy["ftile"] < energy["ctile"]
+
+    def test_qoe_ordering(self, all_results):
+        qoe = {name: r.mean_qoe for name, r in all_results.items()}
+        assert qoe["ptile"] > qoe["ctile"]
+        assert qoe["ours"] > qoe["ctile"] * 0.95
+
+    def test_decoding_energy_reflects_table1(self, all_results):
+        decode = {name: r.energy.decoding_j for name, r in all_results.items()}
+        assert decode["ours"] < decode["ctile"]
+        assert decode["ptile"] < decode["ftile"] < decode["ctile"]
+
+    def test_ours_reduces_frame_rate_sometimes(self, all_results):
+        assert all_results["ours"].mean_frame_rate < 30.0
+        assert all_results["ptile"].mean_frame_rate == 30.0
+
+
+class TestCustomQoEWeights:
+    def test_zero_weights_remove_penalties(self, small_dataset, manifest2,
+                                           network_traces, device):
+        head = small_dataset.test_traces(2)[0]
+        plain = run_session(
+            CtileScheme(), manifest2, head, network_traces[1], device,
+            qoe=QoEModel(weights=QoEWeights(0.0, 0.0)),
+            config=SessionConfig(max_segments=10),
+        )
+        weighted = run_session(
+            CtileScheme(), manifest2, head, network_traces[1], device,
+            qoe=QoEModel(weights=QoEWeights(5.0, 5.0)),
+            config=SessionConfig(max_segments=10),
+        )
+        assert plain.mean_qoe >= weighted.mean_qoe
+
+
+class TestSmallGrids:
+    def test_pipeline_on_2x4_grid(self, small_dataset, network_traces, device):
+        """The whole stack works on a non-default tiling."""
+        from repro.geometry import TileGrid
+
+        grid = TileGrid(2, 4)
+        encoder = EncoderModel(grid=grid)
+        video = small_dataset.video(2)
+        manifest = VideoManifest(video, encoder)
+        ptiles = build_video_ptiles(
+            video, small_dataset.train_traces(2), grid
+        )
+        result = run_session(
+            PtileScheme(), manifest, small_dataset.test_traces(2)[0],
+            network_traces[1], device, ptiles=ptiles,
+            config=SessionConfig(max_segments=10),
+        )
+        assert result.num_segments == 10
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self, small_dataset, network_traces,
+                                         device):
+        def run_once():
+            video = small_dataset.video(8)
+            encoder = EncoderModel()
+            manifest = VideoManifest(video, encoder)
+            ptiles = build_video_ptiles(
+                video, small_dataset.train_traces(8), DEFAULT_GRID
+            )
+            return run_session(
+                OursScheme(device=device), manifest,
+                small_dataset.test_traces(8)[0], network_traces[1], device,
+                ptiles=ptiles, config=SessionConfig(max_segments=15),
+            )
+
+        a, b = run_once(), run_once()
+        assert a.total_energy_j == b.total_energy_j
+        assert a.mean_qoe == b.mean_qoe
+        assert [r.quality for r in a.records] == [r.quality for r in b.records]
+        assert [r.frame_rate for r in a.records] == [
+            r.frame_rate for r in b.records
+        ]

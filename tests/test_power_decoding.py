@@ -1,0 +1,70 @@
+"""Unit tests for the Fig. 2(b) multi-decoder model."""
+
+import pytest
+
+from repro.power import MultiDecoderModel, PIXEL3_DECODER_MODEL
+
+
+class TestMeasuredEndpoints:
+    def test_one_decoder(self):
+        assert PIXEL3_DECODER_MODEL.decode_time_s(1) == pytest.approx(1.3)
+        assert PIXEL3_DECODER_MODEL.decode_power_mw(1) == pytest.approx(241.0)
+
+    def test_nine_decoders(self):
+        assert PIXEL3_DECODER_MODEL.decode_time_s(9) == pytest.approx(0.5)
+        assert PIXEL3_DECODER_MODEL.decode_power_mw(9) == pytest.approx(846.0)
+
+    def test_ptile_point(self):
+        assert PIXEL3_DECODER_MODEL.ptile_time_s == 0.24
+        assert PIXEL3_DECODER_MODEL.ptile_power_mw == 287.0
+        assert PIXEL3_DECODER_MODEL.ptile_energy_mj() == pytest.approx(
+            0.24 * 287.0
+        )
+
+
+class TestCurveShape:
+    def test_time_monotone_decreasing(self):
+        times = [PIXEL3_DECODER_MODEL.decode_time_s(d) for d in range(1, 10)]
+        assert times == sorted(times, reverse=True)
+
+    def test_power_monotone_increasing(self):
+        powers = [PIXEL3_DECODER_MODEL.decode_power_mw(d) for d in range(1, 10)]
+        assert powers == sorted(powers)
+
+    def test_energy_increases_with_decoders(self):
+        # More decoders = more energy despite shorter time (the paper's
+        # core motivation observation).
+        energies = [PIXEL3_DECODER_MODEL.decode_energy_mj(d) for d in range(1, 10)]
+        assert energies == sorted(energies)
+
+    def test_ptile_beats_every_configuration(self):
+        ptile = PIXEL3_DECODER_MODEL.ptile_energy_mj()
+        for d in range(1, 10):
+            assert ptile < PIXEL3_DECODER_MODEL.decode_energy_mj(d)
+
+    def test_four_decoders_interpolation(self):
+        # Intermediate counts sit between the endpoints.
+        t4 = PIXEL3_DECODER_MODEL.decode_time_s(4)
+        p4 = PIXEL3_DECODER_MODEL.decode_power_mw(4)
+        assert 0.5 < t4 < 1.3
+        assert 241.0 < p4 < 846.0
+
+
+class TestValidation:
+    def test_needs_positive_decoders(self):
+        with pytest.raises(ValueError):
+            PIXEL3_DECODER_MODEL.decode_time_s(0)
+        with pytest.raises(ValueError):
+            PIXEL3_DECODER_MODEL.decode_power_mw(0)
+
+    def test_time_must_fall(self):
+        with pytest.raises(ValueError):
+            MultiDecoderModel(time_1_s=0.5, time_9_s=0.6)
+
+    def test_power_must_rise(self):
+        with pytest.raises(ValueError):
+            MultiDecoderModel(power_1_mw=800.0, power_9_mw=700.0)
+
+    def test_positive_values(self):
+        with pytest.raises(ValueError):
+            MultiDecoderModel(time_1_s=0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the Table I power models."""
+
+import pytest
+
+from repro.power import (
+    DEVICES,
+    DevicePowerModel,
+    GALAXY_S20,
+    LinearPower,
+    NEXUS_5X,
+    PIXEL_3,
+    TilingScheme,
+    get_device,
+)
+
+
+class TestLinearPower:
+    def test_evaluation(self):
+        model = LinearPower(100.0, 2.0)
+        assert model.at(0.0) == 100.0
+        assert model.at(30.0) == 160.0
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPower(-1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPower(100.0).at(-1.0)
+
+
+class TestTableIValues:
+    """Spot-check the embedded Table I constants verbatim."""
+
+    def test_transmission(self):
+        assert NEXUS_5X.transmission_mw == pytest.approx(1709.12)
+        assert PIXEL_3.transmission_mw == pytest.approx(1429.08)
+        assert GALAXY_S20.transmission_mw == pytest.approx(1527.39)
+
+    def test_pixel3_decode_rows(self):
+        assert PIXEL_3.decoding_mw(TilingScheme.CTILE, 0) == pytest.approx(574.89)
+        assert PIXEL_3.decoding_mw(TilingScheme.CTILE, 30) == pytest.approx(
+            574.89 + 15.46 * 30
+        )
+        assert PIXEL_3.decoding_mw(TilingScheme.PTILE, 30) == pytest.approx(
+            140.73 + 5.96 * 30
+        )
+
+    def test_nexus_decode_rows(self):
+        assert NEXUS_5X.decoding_mw(TilingScheme.FTILE, 10) == pytest.approx(
+            832.45 + 153.1
+        )
+        assert NEXUS_5X.decoding_mw(TilingScheme.NONTILE, 0) == pytest.approx(447.17)
+
+    def test_galaxy_render(self):
+        assert GALAXY_S20.rendering_mw(30) == pytest.approx(108.21 + 3.98 * 30)
+
+    def test_ptile_always_cheapest_decode(self):
+        for device in DEVICES.values():
+            for f in (0.0, 15.0, 30.0):
+                powers = {
+                    s: device.decoding_mw(s, f) for s in TilingScheme
+                }
+                assert min(powers, key=powers.get) == TilingScheme.PTILE
+
+    def test_ctile_always_most_expensive_decode(self):
+        for device in DEVICES.values():
+            for f in (0.0, 30.0):
+                powers = {s: device.decoding_mw(s, f) for s in TilingScheme}
+                assert max(powers, key=powers.get) == TilingScheme.CTILE
+
+
+class TestDeviceLookup:
+    def test_canonical_names(self):
+        assert get_device("pixel3") is PIXEL_3
+        assert get_device("nexus5x") is NEXUS_5X
+        assert get_device("galaxys20") is GALAXY_S20
+
+    def test_fuzzy_names(self):
+        assert get_device("Pixel 3") is PIXEL_3
+        assert get_device("Nexus-5X") is NEXUS_5X
+        assert get_device("galaxy_s20") is GALAXY_S20
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("iphone")
+
+    def test_scheme_accepts_string(self):
+        assert PIXEL_3.decoding_mw("ptile", 0) == pytest.approx(140.73)
+
+    def test_incomplete_model_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePowerModel(
+                name="broken",
+                transmission=LinearPower(1000.0),
+                decoding={TilingScheme.CTILE: LinearPower(500.0, 10.0)},
+                rendering=LinearPower(50.0, 1.0),
+            )

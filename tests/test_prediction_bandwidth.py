@@ -1,0 +1,89 @@
+"""Unit tests for bandwidth estimators."""
+
+import pytest
+
+from repro.prediction import (
+    EwmaEstimator,
+    HarmonicMeanEstimator,
+    LastSampleEstimator,
+)
+
+
+class TestHarmonicMean:
+    def test_single_sample(self):
+        est = HarmonicMeanEstimator()
+        est.add(4.0)
+        assert est.estimate() == 4.0
+
+    def test_harmonic_mean_formula(self):
+        est = HarmonicMeanEstimator()
+        est.add(2.0)
+        est.add(6.0)
+        assert est.estimate() == pytest.approx(2 / (1 / 2 + 1 / 6))
+
+    def test_window_eviction(self):
+        est = HarmonicMeanEstimator(window=2)
+        for v in (1.0, 10.0, 10.0):
+            est.add(v)
+        assert est.estimate() == pytest.approx(10.0)
+        assert est.num_samples == 2
+
+    def test_suppresses_spikes(self):
+        """The paper's rationale: harmonic mean resists outliers."""
+        est = HarmonicMeanEstimator()
+        for v in (4.0, 4.0, 4.0, 4.0, 40.0):
+            est.add(v)
+        arithmetic = (4 * 4 + 40) / 5
+        assert est.estimate() < arithmetic
+        assert est.estimate() < 6.0
+
+    def test_pessimistic_on_dips(self):
+        est = HarmonicMeanEstimator()
+        for v in (4.0, 4.0, 0.4):
+            est.add(v)
+        assert est.estimate() < 2.0
+
+    def test_empty_estimate_rejected(self):
+        with pytest.raises(RuntimeError):
+            HarmonicMeanEstimator().estimate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(window=0)
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator().add(0.0)
+
+
+class TestEwma:
+    def test_first_sample(self):
+        est = EwmaEstimator()
+        est.add(5.0)
+        assert est.estimate() == 5.0
+
+    def test_smoothing(self):
+        est = EwmaEstimator(alpha=0.5)
+        est.add(4.0)
+        est.add(8.0)
+        assert est.estimate() == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator().add(-1.0)
+        with pytest.raises(RuntimeError):
+            EwmaEstimator().estimate()
+
+
+class TestLastSample:
+    def test_tracks_latest(self):
+        est = LastSampleEstimator()
+        est.add(3.0)
+        est.add(7.0)
+        assert est.estimate() == 7.0
+
+    def test_validation(self):
+        with pytest.raises(RuntimeError):
+            LastSampleEstimator().estimate()
+        with pytest.raises(ValueError):
+            LastSampleEstimator().add(0.0)

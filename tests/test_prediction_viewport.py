@@ -1,0 +1,127 @@
+"""Unit tests for ridge regression and viewport prediction."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import RidgeRegressor, ViewportPredictor
+
+
+class TestRidgeRegressor:
+    def test_fits_line_exactly_without_regularization(self):
+        x = np.arange(10.0)
+        y = 3.0 * x + 2.0
+        model = RidgeRegressor(lam=0.0).fit(x, y)
+        assert model.predict(np.array([20.0]))[0] == pytest.approx(62.0)
+
+    def test_regularization_shrinks_slope(self):
+        x = np.arange(10.0)
+        y = 3.0 * x
+        free = RidgeRegressor(lam=0.0).fit(x, y)
+        ridge = RidgeRegressor(lam=100.0).fit(x, y)
+        assert abs(ridge.weights[1]) < abs(free.weights[1])
+
+    def test_intercept_not_regularized(self):
+        x = np.zeros(20)
+        y = np.full(20, 7.0)
+        model = RidgeRegressor(lam=1000.0).fit(x, y)
+        assert model.predict(np.array([0.0]))[0] == pytest.approx(7.0)
+
+    def test_multifeature(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 4.0
+        model = RidgeRegressor(lam=1e-6).fit(x, y)
+        pred = model.predict(x)
+        assert np.allclose(pred, y, atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(lam=-1.0)
+        with pytest.raises(ValueError):
+            RidgeRegressor().fit(np.zeros((2, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            RidgeRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((1, 1)))
+
+    def test_is_fitted(self):
+        model = RidgeRegressor()
+        assert not model.is_fitted
+        model.fit(np.arange(5.0), np.arange(5.0))
+        assert model.is_fitted
+
+
+class TestViewportPredictor:
+    def test_requires_observations(self):
+        with pytest.raises(RuntimeError):
+            ViewportPredictor().predict_center(1.0)
+
+    def test_few_samples_fall_back_to_last(self):
+        p = ViewportPredictor()
+        p.observe(0.0, 100.0, 10.0)
+        p.observe(0.1, 102.0, 10.0)
+        yaw, pitch = p.predict_center(1.0)
+        assert yaw == pytest.approx(102.0)
+        assert pitch == pytest.approx(10.0)
+
+    def test_linear_trend_extrapolated(self):
+        p = ViewportPredictor(lam=1e-6)
+        for i in range(20):
+            p.observe(i * 0.1, 100.0 + i, 0.0)  # 10 deg/s
+        yaw, _ = p.predict_center(2.4)  # 0.5 s ahead
+        assert yaw == pytest.approx(124.0, abs=0.5)
+
+    def test_extrapolation_capped(self):
+        p = ViewportPredictor(lam=1e-6, max_extrapolation_s=1.0)
+        for i in range(20):
+            p.observe(i * 0.1, 100.0 + i, 0.0)
+        yaw_far, _ = p.predict_center(10.0)
+        # Only 1 s of trend applied: 119 + 10 deg.
+        assert yaw_far == pytest.approx(129.0, abs=1.0)
+
+    def test_seam_crossing_unwrapped(self):
+        p = ViewportPredictor(lam=1e-6)
+        yaws = [356.0, 358.0, 0.0, 2.0, 4.0]
+        for i, yaw in enumerate(yaws):
+            p.observe(i * 0.1, yaw, 0.0)
+        yaw, _ = p.predict_center(0.6)
+        assert 4.0 < yaw < 12.0  # continues forward, no 360 jump
+
+    def test_pitch_clamped(self):
+        p = ViewportPredictor(lam=1e-6)
+        for i in range(20):
+            p.observe(i * 0.1, 0.0, 60.0 + i * 2.0)
+        _, pitch = p.predict_center(3.0)
+        assert pitch <= 90.0
+
+    def test_window_eviction(self):
+        p = ViewportPredictor(window_s=1.0)
+        for i in range(50):
+            p.observe(i * 0.1, 0.0, 0.0)
+        assert p.num_observations <= 11
+
+    def test_time_ordering_enforced(self):
+        p = ViewportPredictor()
+        p.observe(0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            p.observe(0.0, 1.0, 0.0)
+
+    def test_recent_speed(self):
+        p = ViewportPredictor()
+        for i in range(11):
+            p.observe(i * 0.1, i * 1.0, 0.0)  # 10 deg/s
+        assert p.recent_speed_deg_s() == pytest.approx(10.0, abs=0.5)
+
+    def test_recent_speed_empty(self):
+        assert ViewportPredictor().recent_speed_deg_s() == 0.0
+
+    def test_predict_viewport_object(self):
+        p = ViewportPredictor(fov_deg=90.0)
+        p.observe(0.0, 10.0, 0.0)
+        vp = p.predict_viewport(1.0)
+        assert vp.fov_h == 90.0
+        assert vp.yaw == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViewportPredictor(window_s=0.0)

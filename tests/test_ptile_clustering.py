@@ -1,0 +1,141 @@
+"""Unit tests for Algorithm 1 (viewing-center clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.ptile import Cluster, ViewingCenter, cluster_viewing_centers
+
+
+def centers(points):
+    return [ViewingCenter(i, yaw, pitch) for i, (yaw, pitch) in enumerate(points)]
+
+
+class TestViewingCenter:
+    def test_distance_wraps(self):
+        a = ViewingCenter(0, 355.0, 0.0)
+        b = ViewingCenter(1, 5.0, 0.0)
+        assert a.distance_to(b) == pytest.approx(10.0)
+
+
+class TestCluster:
+    def test_diameter(self):
+        c = Cluster(tuple(centers([(0, 0), (10, 0), (4, 3)])))
+        assert c.diameter() == pytest.approx(10.0)
+
+    def test_centroid_wrap_aware(self):
+        c = Cluster(tuple(centers([(350, 0), (10, 0)])))
+        yaw, pitch = c.centroid()
+        assert yaw == pytest.approx(0.0, abs=1e-6) or yaw == pytest.approx(360.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(())
+
+    def test_user_ids(self):
+        c = Cluster(tuple(centers([(0, 0), (1, 1)])))
+        assert c.user_ids() == (0, 1)
+
+
+class TestAlgorithm1:
+    def test_single_tight_cluster(self):
+        pts = centers([(100, 0), (102, 1), (98, -1), (101, 2)])
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert len(clusters) == 1
+        assert clusters[0].size == 4
+
+    def test_two_separated_clusters(self):
+        pts = centers([(50, 0), (52, 0), (51, 1), (200, 0), (202, 1)])
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert len(clusters) == 2
+        assert clusters[0].size == 3  # sorted by size descending
+        assert clusters[1].size == 2
+
+    def test_isolated_points_are_singletons(self):
+        pts = centers([(0, 0), (100, 0), (200, 0)])
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert len(clusters) == 3
+        assert all(c.size == 1 for c in clusters)
+
+    def test_chain_expansion(self):
+        """BFS expansion links chains of close neighbors."""
+        pts = centers([(0, 0), (4, 0), (8, 0), (12, 0)])
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert len(clusters) == 1
+
+    def test_oversized_cluster_split(self):
+        """Fig. 6: a chain wider than sigma splits in two."""
+        pts = centers([(x, 0.0) for x in range(0, 61, 5)])  # 60-degree chain
+        clusters = cluster_viewing_centers(pts, delta=6.0, sigma=45.0)
+        assert len(clusters) == 2
+        # Split should be roughly balanced for a uniform chain.
+        sizes = sorted(c.size for c in clusters)
+        assert sizes[0] >= 4
+
+    def test_recursive_split_bounds_diameter(self):
+        pts = centers([(x, 0.0) for x in range(0, 160, 4)])
+        clusters = cluster_viewing_centers(
+            pts, delta=5.0, sigma=45.0, recursive_split=True
+        )
+        assert all(c.diameter() <= 45.0 + 1e-9 for c in clusters)
+
+    def test_single_split_is_paper_faithful(self):
+        # Without recursion a very long chain may still exceed sigma
+        # after one 2-means split (the paper splits once).
+        pts = centers([(x, 0.0) for x in range(0, 160, 4)])
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert len(clusters) == 2
+
+    def test_all_nodes_assigned_exactly_once(self):
+        rng = np.random.default_rng(4)
+        pts = [
+            ViewingCenter(i, float(rng.uniform(0, 360)), float(rng.uniform(-60, 60)))
+            for i in range(40)
+        ]
+        clusters = cluster_viewing_centers(pts, delta=11.25, sigma=45.0)
+        ids = [u for c in clusters for u in c.user_ids()]
+        assert sorted(ids) == list(range(40))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(9)
+        pts = [
+            ViewingCenter(i, float(rng.uniform(0, 360)), float(rng.uniform(-60, 60)))
+            for i in range(30)
+        ]
+        a = cluster_viewing_centers(pts, delta=11.25, sigma=45.0)
+        b = cluster_viewing_centers(list(reversed(pts)), delta=11.25, sigma=45.0)
+        assert [c.user_ids() for c in a] == [c.user_ids() for c in b]
+
+    def test_cluster_across_seam(self):
+        pts = centers([(358, 0), (2, 0), (0, 1)])
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert len(clusters) == 1
+
+    def test_duplicate_points_allowed(self):
+        pts = centers([(10, 0), (10, 0), (10, 0), (10, 0), (10, 0), (10, 0)])
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert len(clusters) == 1
+        assert clusters[0].diameter() == 0.0
+
+    def test_duplicate_user_ids_rejected(self):
+        pts = [ViewingCenter(1, 0, 0), ViewingCenter(1, 10, 0)]
+        with pytest.raises(ValueError):
+            cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cluster_viewing_centers(centers([(0, 0)]), delta=0.0, sigma=45.0)
+        with pytest.raises(ValueError):
+            cluster_viewing_centers(centers([(0, 0)]), delta=5.0, sigma=-1.0)
+
+    def test_empty_input(self):
+        assert cluster_viewing_centers([], delta=5.0, sigma=45.0) == []
+
+    def test_seed_is_densest_node(self):
+        # A dense blob plus an outlier pair: the blob must form first and
+        # not absorb the pair.
+        pts = centers(
+            [(100, 0), (101, 0), (102, 0), (100, 1), (101, 1), (150, 0), (152, 0)]
+        )
+        clusters = cluster_viewing_centers(pts, delta=5.0, sigma=45.0)
+        assert clusters[0].size == 5
+        assert clusters[1].size == 2

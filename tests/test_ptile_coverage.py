@@ -1,0 +1,67 @@
+"""Unit tests for Fig. 7 coverage statistics."""
+
+import pytest
+
+from repro.ptile import (
+    coverage_stats,
+    ptile_count_distribution,
+    user_coverage,
+)
+
+
+class TestCountDistribution:
+    def test_counts_match_segments(self, ptiles2):
+        counts = ptile_count_distribution(ptiles2)
+        assert len(counts) == len(ptiles2)
+        assert all(c >= 0 for c in counts)
+
+
+class TestUserCoverage:
+    def test_train_users_well_covered(self, small_dataset, ptiles2):
+        cov = user_coverage(ptiles2, small_dataset.train_traces(2))
+        assert cov > 0.8  # the Ptiles were built from these users
+
+    def test_test_users_reasonably_covered(self, small_dataset, ptiles2):
+        cov = user_coverage(ptiles2, small_dataset.test_traces(2))
+        assert cov > 0.5
+
+    def test_coverage_in_unit_interval(self, small_dataset, ptiles8):
+        cov = user_coverage(ptiles8, small_dataset.traces[8])
+        assert 0.0 <= cov <= 1.0
+
+    def test_requires_inputs(self, small_dataset, ptiles2):
+        with pytest.raises(ValueError):
+            user_coverage([], small_dataset.train_traces(2))
+        with pytest.raises(ValueError):
+            user_coverage(ptiles2, [])
+
+
+class TestCoverageStats:
+    def test_aggregation(self, small_dataset, ptiles2):
+        stats = coverage_stats(2, ptiles2, small_dataset.traces[2])
+        assert stats.video_id == 2
+        assert stats.mean_ptiles >= 0
+        assert 0 <= stats.covered_fraction <= 1
+
+    def test_fraction_needing_at_most_monotone(self, small_dataset, ptiles2):
+        stats = coverage_stats(2, ptiles2, small_dataset.traces[2])
+        f1 = stats.fraction_needing_at_most(1)
+        f2 = stats.fraction_needing_at_most(2)
+        f3 = stats.fraction_needing_at_most(3)
+        assert f1 <= f2 <= f3 <= 1.0
+
+    def test_negative_k_rejected(self, small_dataset, ptiles2):
+        stats = coverage_stats(2, ptiles2, small_dataset.traces[2])
+        with pytest.raises(ValueError):
+            stats.fraction_needing_at_most(-1)
+
+    def test_histogram_sums_to_one(self, small_dataset, ptiles8):
+        stats = coverage_stats(8, ptiles8, small_dataset.traces[8])
+        hist = stats.count_histogram()
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_focused_video_shape(self, small_dataset, ptiles2):
+        """Fig. 7 shape: focused video needs few Ptiles, high coverage."""
+        stats = coverage_stats(2, ptiles2, small_dataset.traces[2])
+        assert stats.fraction_needing_at_most(2) > 0.9
+        assert stats.covered_fraction > 0.7

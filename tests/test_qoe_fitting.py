@@ -1,0 +1,90 @@
+"""Unit tests for the Table II fitting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.qoe import TABLE_II, VMAFOracle, build_training_set, fit_qo_model
+from repro.video import build_catalog
+
+
+class TestVMAFOracle:
+    def test_scores_in_range(self):
+        oracle = VMAFOracle()
+        si = np.linspace(20, 45, 50)
+        ti = np.linspace(5, 22, 50)
+        b = np.linspace(0.5, 8, 50)
+        scores = oracle.measure(si, ti, b)
+        assert np.all(scores >= 0) and np.all(scores <= 100)
+
+    def test_deterministic(self):
+        oracle = VMAFOracle()
+        si = np.array([30.0])
+        ti = np.array([12.0])
+        b = np.array([3.0])
+        assert oracle.measure(si, ti, b) == oracle.measure(si, ti, b)
+
+    def test_noise_free_matches_model(self):
+        oracle = VMAFOracle(noise_std=0.0)
+        from repro.qoe import QualityModel
+
+        si, ti, b = np.array([30.0]), np.array([12.0]), np.array([3.0])
+        truth = QualityModel().qo(30.0, 12.0, 3.0)
+        assert oracle.measure(si, ti, b)[0] == pytest.approx(truth)
+
+
+class TestTrainingSet:
+    def test_ten_segments_five_qualities(self):
+        videos = build_catalog()
+        si, ti, b = build_training_set(videos, __import__("repro").EncoderModel())
+        assert si.size == 8 * 10 * 5
+        assert si.shape == ti.shape == b.shape
+
+    def test_bitrates_positive_and_varied(self, encoder):
+        videos = build_catalog()
+        _, __, b = build_training_set(videos, encoder, segments_per_video=5)
+        assert np.all(b > 0)
+        assert b.max() > 2 * b.min()
+
+    def test_validation(self, encoder):
+        with pytest.raises(ValueError):
+            build_training_set(build_catalog(), encoder, segments_per_video=0)
+
+
+class TestFit:
+    def test_recovers_table2(self, encoder):
+        videos = build_catalog()
+        si, ti, b = build_training_set(videos, encoder)
+        vmaf = VMAFOracle().measure(si, ti, b)
+        result = fit_qo_model(si, ti, b, vmaf)
+        assert result.coefficients.c2 == pytest.approx(TABLE_II.c2, abs=0.02)
+        assert result.coefficients.c3 == pytest.approx(TABLE_II.c3, abs=0.03)
+        assert result.coefficients.c4 == pytest.approx(TABLE_II.c4, abs=0.08)
+        assert result.pearson_r > 0.97  # paper: 0.9791
+
+    def test_perfect_data_near_perfect_fit(self, encoder):
+        videos = build_catalog()[:4]
+        si, ti, b = build_training_set(videos, encoder, segments_per_video=6)
+        vmaf = VMAFOracle(noise_std=0.0).measure(si, ti, b)
+        result = fit_qo_model(si, ti, b, vmaf)
+        assert result.pearson_r > 0.9999
+        assert result.coefficients.c1 == pytest.approx(TABLE_II.c1, abs=1e-3)
+
+    def test_model_factory(self, encoder):
+        videos = build_catalog()[:2]
+        si, ti, b = build_training_set(videos, encoder, segments_per_video=5)
+        vmaf = VMAFOracle().measure(si, ti, b)
+        result = fit_qo_model(si, ti, b, vmaf)
+        model = result.model()
+        assert 0 < model.qo(30.0, 12.0, 3.0) < 100
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_qo_model(
+                np.zeros(3), np.zeros(3), np.zeros(4), np.zeros(3)
+            )
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_qo_model(
+                np.zeros(2), np.zeros(2), np.zeros(2), np.zeros(2)
+            )

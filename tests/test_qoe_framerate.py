@@ -1,0 +1,76 @@
+"""Unit tests for the frame-rate QoE factor (Eq. 4)."""
+
+import pytest
+
+from repro.qoe import alpha_from_behavior, frame_rate_factor
+from repro.qoe.framerate import TI_NORMALIZATION
+
+
+class TestAlpha:
+    def test_eq4_with_normalization(self):
+        # alpha = S / (TI / 60).
+        assert alpha_from_behavior(10.0, 15.0) == pytest.approx(
+            10.0 / (15.0 / TI_NORMALIZATION)
+        )
+
+    def test_faster_switching_larger_alpha(self):
+        assert alpha_from_behavior(20.0, 15.0) > alpha_from_behavior(5.0, 15.0)
+
+    def test_more_motion_smaller_alpha(self):
+        assert alpha_from_behavior(10.0, 20.0) < alpha_from_behavior(10.0, 5.0)
+
+    def test_static_view_clamped_positive(self):
+        assert alpha_from_behavior(0.0, 15.0) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alpha_from_behavior(-1.0, 15.0)
+        with pytest.raises(ValueError):
+            alpha_from_behavior(10.0, 0.0)
+        with pytest.raises(ValueError):
+            alpha_from_behavior(10.0, 15.0, ti_normalization=0.0)
+
+
+class TestFrameRateFactor:
+    def test_full_rate_is_one(self):
+        for alpha in (0.1, 1.0, 10.0):
+            assert frame_rate_factor(30.0, 30.0, alpha) == pytest.approx(1.0)
+
+    def test_monotone_in_frame_rate(self):
+        values = [frame_rate_factor(f, 30.0, 2.0) for f in (15.0, 21.0, 27.0, 30.0)]
+        assert values == sorted(values)
+
+    def test_larger_alpha_slower_falling(self):
+        # Paper: "a larger alpha indicates a slower falling rate".
+        drop_small = 1 - frame_rate_factor(21.0, 30.0, 0.5)
+        drop_large = 1 - frame_rate_factor(21.0, 30.0, 20.0)
+        assert drop_large < drop_small
+
+    def test_fast_switching_makes_reduction_nearly_free(self):
+        # A user sweeping 30 deg/s over moderate-motion content.
+        alpha = alpha_from_behavior(30.0, 15.0)
+        assert frame_rate_factor(21.0, 30.0, alpha) > 0.99
+
+    def test_static_gaze_penalized_linearly(self):
+        # Tiny alpha degenerates to f/fm.
+        assert frame_rate_factor(21.0, 30.0, 1e-6) == pytest.approx(0.7, abs=1e-3)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            frame_rate_factor(0.0, 30.0, 1.0)
+        with pytest.raises(ValueError):
+            frame_rate_factor(31.0, 30.0, 1.0)
+        with pytest.raises(ValueError):
+            frame_rate_factor(21.0, 30.0, 0.0)
+
+    def test_factor_in_unit_interval(self):
+        for f in (5.0, 15.0, 29.0):
+            for alpha in (0.01, 1.0, 50.0):
+                factor = frame_rate_factor(f, 30.0, alpha)
+                assert 0.0 < factor <= 1.0
+
+    def test_continuity_at_alpha_threshold(self):
+        # The small-alpha series expansion matches the exact formula.
+        just_below = frame_rate_factor(21.0, 30.0, 9.9e-5)
+        just_above = frame_rate_factor(21.0, 30.0, 1.01e-4)
+        assert just_below == pytest.approx(just_above, abs=1e-4)

@@ -1,0 +1,90 @@
+"""Unit tests for Eq. 2 QoE metrics and session aggregation."""
+
+import pytest
+
+from repro.qoe import QoEModel, QoEWeights, SegmentQoE, SessionQoE
+
+
+class TestWeights:
+    def test_paper_defaults(self):
+        w = QoEWeights()
+        assert w.variation == 1.0
+        assert w.rebuffering == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QoEWeights(variation=-0.1)
+
+
+class TestSegmentQoE:
+    def test_eq2_composition(self):
+        seg = SegmentQoE(qo=80.0, variation_penalty=5.0, rebuffer_penalty=3.0)
+        assert seg.q == 72.0
+
+
+class TestQoEModel:
+    @pytest.fixture
+    def model(self):
+        return QoEModel()
+
+    def test_first_segment_no_variation(self, model):
+        seg = model.segment_qoe(80.0, None, 0.5, 3.0)
+        assert seg.variation_penalty == 0.0
+
+    def test_variation_absolute_difference(self, model):
+        seg = model.segment_qoe(80.0, 70.0, 0.5, 3.0)
+        assert seg.variation_penalty == pytest.approx(10.0)
+        seg = model.segment_qoe(70.0, 80.0, 0.5, 3.0)
+        assert seg.variation_penalty == pytest.approx(10.0)
+
+    def test_no_rebuffer_when_download_fits(self, model):
+        assert model.rebuffer_ratio(1.0, 3.0) == 0.0
+
+    def test_rebuffer_ratio_eq2(self, model):
+        # Stall of 1 s against a 2 s buffer: ratio 0.5.
+        assert model.rebuffer_ratio(3.0, 2.0) == pytest.approx(0.5)
+
+    def test_rebuffer_penalty_scales_with_qo(self, model):
+        seg = model.segment_qoe(80.0, None, 3.0, 2.0)
+        assert seg.rebuffer_penalty == pytest.approx(0.5 * 80.0)
+
+    def test_rebuffer_ratio_capped(self, model):
+        assert model.rebuffer_ratio(100.0, 0.5) <= 3.0
+
+    def test_rebuffer_with_empty_buffer_bounded(self, model):
+        assert model.rebuffer_ratio(1.0, 0.0) <= 3.0
+
+    def test_weights_applied(self):
+        model = QoEModel(weights=QoEWeights(variation=2.0, rebuffering=0.5))
+        seg = model.segment_qoe(80.0, 70.0, 3.0, 2.0)
+        assert seg.variation_penalty == pytest.approx(20.0)
+        assert seg.rebuffer_penalty == pytest.approx(0.5 * 0.5 * 80.0)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.rebuffer_ratio(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            model.rebuffer_ratio(1.0, -2.0)
+
+
+class TestSessionQoE:
+    def test_aggregates(self):
+        session = SessionQoE()
+        session.add(SegmentQoE(80.0, 2.0, 0.0))
+        session.add(SegmentQoE(70.0, 0.0, 7.0))
+        assert session.num_segments == 2
+        assert session.mean_qo == pytest.approx(75.0)
+        assert session.mean_variation == pytest.approx(1.0)
+        assert session.mean_rebuffer == pytest.approx(3.5)
+        assert session.mean_q == pytest.approx((78.0 + 63.0) / 2)
+
+    def test_rebuffer_count(self):
+        session = SessionQoE()
+        session.add(SegmentQoE(80.0, 0.0, 0.0))
+        session.add(SegmentQoE(80.0, 0.0, 1.0))
+        session.add(SegmentQoE(80.0, 0.0, 2.0))
+        assert session.rebuffer_count == 2
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValueError):
+            SessionQoE().mean_q

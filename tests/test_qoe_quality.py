@@ -1,0 +1,78 @@
+"""Unit tests for the Eq. 3 quality model (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.qoe import QoCoefficients, QualityModel, TABLE_II
+
+
+class TestTableII:
+    def test_published_values(self):
+        assert TABLE_II.c1 == pytest.approx(-0.2163)
+        assert TABLE_II.c2 == pytest.approx(0.0581)
+        assert TABLE_II.c3 == pytest.approx(-0.1578)
+        assert TABLE_II.c4 == pytest.approx(0.7821)
+
+    def test_as_array(self):
+        arr = TABLE_II.as_array()
+        assert arr.shape == (4,)
+        assert arr[3] == pytest.approx(0.7821)
+
+
+class TestQualityModel:
+    @pytest.fixture
+    def model(self):
+        return QualityModel()
+
+    def test_range(self, model):
+        for si, ti, b in [(20, 5, 0.5), (45, 22, 8.0), (30, 15, 3.0)]:
+            qo = model.qo(si, ti, b)
+            assert 0.0 < qo < 100.0
+
+    def test_monotone_in_bitrate(self, model):
+        values = [model.qo(33, 14, b) for b in (0.5, 1.0, 2.0, 4.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_monotone_in_si(self, model):
+        # c2 > 0: spatial detail raises measured quality.
+        assert model.qo(45, 14, 3.0) > model.qo(25, 14, 3.0)
+
+    def test_monotone_decreasing_in_ti(self, model):
+        # c3 < 0: motion lowers quality at a fixed bitrate.
+        assert model.qo(33, 20, 3.0) < model.qo(33, 8, 3.0)
+
+    def test_negative_bitrate_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.qo(33, 14, -1.0)
+
+    def test_exponent_formula(self, model):
+        z = model.exponent(10.0, 5.0, 2.0)
+        expected = -0.2163 + 0.0581 * 10 - 0.1578 * 5 + 0.7821 * 2
+        assert z == pytest.approx(expected)
+
+    def test_logistic_midpoint(self):
+        model = QualityModel(QoCoefficients(0.0, 0.0, 0.0, 0.0))
+        assert model.qo(33, 14, 3.0) == pytest.approx(50.0)
+
+    def test_numerical_stability_extremes(self, model):
+        big = QualityModel(QoCoefficients(100.0, 0.0, 0.0, 0.0))
+        small = QualityModel(QoCoefficients(-100.0, 0.0, 0.0, 0.0))
+        assert big.qo(33, 14, 1.0) == pytest.approx(100.0)
+        assert small.qo(33, 14, 1.0) == pytest.approx(0.0, abs=1e-20)
+
+    def test_array_matches_scalar(self, model):
+        si = np.array([25.0, 33.0, 41.0])
+        ti = np.array([8.0, 14.0, 21.0])
+        b = np.array([1.0, 3.0, 6.0])
+        arr = model.qo_array(si, ti, b)
+        for i in range(3):
+            assert arr[i] == pytest.approx(model.qo(si[i], ti[i], b[i]))
+
+    def test_array_broadcasting(self, model):
+        arr = model.qo_array(33.0, 14.0, np.linspace(0.5, 8, 10))
+        assert arr.shape == (10,)
+        assert np.all(np.diff(arr) > 0)
+
+    def test_custom_scale(self):
+        model = QualityModel(scale=5.0)
+        assert 0 < model.qo(33, 14, 3.0) < 5.0

@@ -1,0 +1,104 @@
+"""Unit tests for the edge-cache extension."""
+
+import pytest
+
+from repro.streaming import (
+    CacheStats,
+    EdgeCache,
+    ptile_vs_ctile_caching,
+    simulate_cache,
+)
+
+
+class TestEdgeCache:
+    def test_miss_then_hit(self):
+        cache = EdgeCache(capacity_mbit=10.0)
+        assert not cache.request("a", 1.0)
+        assert cache.request("a", 1.0)
+
+    def test_lru_eviction(self):
+        cache = EdgeCache(capacity_mbit=2.0, policy="lru")
+        cache.request("a", 1.0)
+        cache.request("b", 1.0)
+        cache.request("a", 1.0)  # refresh a
+        cache.request("c", 1.0)  # evicts b (least recently used)
+        assert cache.request("a", 1.0)
+        assert not cache.request("b", 1.0)
+
+    def test_lfu_eviction(self):
+        cache = EdgeCache(capacity_mbit=2.0, policy="lfu")
+        for _ in range(3):
+            cache.request("hot", 1.0)
+        cache.request("cold", 1.0)
+        cache.request("new", 1.0)  # evicts cold (lowest frequency)
+        assert cache.request("hot", 1.0)
+        assert not cache.request("cold", 1.0)
+
+    def test_oversized_object_not_stored(self):
+        cache = EdgeCache(capacity_mbit=1.0)
+        assert not cache.request("big", 5.0)
+        assert not cache.request("big", 5.0)  # still a miss
+        assert cache.used_mbit == 0.0
+
+    def test_capacity_respected(self):
+        cache = EdgeCache(capacity_mbit=3.0)
+        for i in range(10):
+            cache.request(f"o{i}", 1.0)
+        assert cache.used_mbit <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeCache(capacity_mbit=0.0)
+        with pytest.raises(ValueError):
+            EdgeCache(capacity_mbit=1.0, policy="fifo")
+        with pytest.raises(ValueError):
+            EdgeCache(capacity_mbit=1.0).request("a", -1.0)
+
+
+class TestSimulateCache:
+    def test_stats_accounting(self):
+        stats = simulate_cache(
+            [("a", 2.0), ("a", 2.0), ("b", 3.0)], capacity_mbit=10.0
+        )
+        assert stats.requests == 3
+        assert stats.hits == 1
+        assert stats.bytes_requested_mbit == pytest.approx(7.0)
+        assert stats.bytes_backhaul_mbit == pytest.approx(5.0)
+        assert stats.hit_ratio == pytest.approx(1 / 3)
+        assert stats.byte_hit_ratio == pytest.approx(2 / 7)
+
+    def test_empty_stream(self):
+        stats = simulate_cache([], capacity_mbit=1.0)
+        assert stats.hit_ratio == 0.0
+        assert stats.byte_hit_ratio == 0.0
+
+
+class TestPtileVsCtileCaching:
+    @pytest.fixture(scope="class")
+    def comparison(self, manifest2, small_dataset, ptiles2):
+        return ptile_vs_ctile_caching(
+            manifest2, small_dataset.traces[2][:8], ptiles2,
+            capacity_mbit=50.0,
+        )
+
+    def test_both_schemes_present(self, comparison):
+        assert set(comparison) == {"ctile", "ptile"}
+
+    def test_concurrent_viewers_hit(self, comparison):
+        # Viewers of the same segment share objects.
+        assert comparison["ctile"].hit_ratio > 0.5
+        assert comparison["ptile"].hit_ratio > 0.5
+
+    def test_ptile_cuts_backhaul(self, comparison):
+        """The extension's headline: Ptiles reduce backhaul traffic."""
+        assert (
+            comparison["ptile"].bytes_backhaul_mbit
+            < comparison["ctile"].bytes_backhaul_mbit
+        )
+
+    def test_requires_viewers(self, manifest2, ptiles2):
+        with pytest.raises(ValueError):
+            ptile_vs_ctile_caching(manifest2, [], ptiles2)
+
+    def test_stats_type(self, comparison):
+        assert isinstance(comparison["ctile"], CacheStats)

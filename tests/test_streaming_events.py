@@ -1,0 +1,75 @@
+"""Unit tests for session timelines."""
+
+import pytest
+
+from repro.streaming import (
+    CtileScheme,
+    SessionConfig,
+    run_session,
+    session_timeline,
+    timeline_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def session(small_dataset, manifest2, network_traces, device):
+    return run_session(
+        CtileScheme(),
+        manifest2,
+        small_dataset.test_traces(2)[0],
+        network_traces[1],
+        device,
+        config=SessionConfig(max_segments=12),
+    )
+
+
+class TestSessionTimeline:
+    def test_entry_per_segment(self, session):
+        timeline = session_timeline(session)
+        assert len(timeline) == 12
+        assert [e.segment for e in timeline] == list(range(12))
+
+    def test_clock_monotone(self, session):
+        timeline = session_timeline(session)
+        for prev, cur in zip(timeline, timeline[1:]):
+            assert cur.request_t >= prev.download_end_t - 1e-9
+
+    def test_download_window_positive(self, session):
+        for entry in session_timeline(session):
+            assert entry.download_end_t >= entry.request_t
+
+    def test_fields_match_records(self, session):
+        timeline = session_timeline(session)
+        for entry, record in zip(timeline, session.records):
+            assert entry.quality == record.quality
+            assert entry.size_mbit == record.size_mbit
+            assert entry.qoe == pytest.approx(record.qoe.q)
+
+    def test_wall_clock_consistency(self, session):
+        """Total wall time equals the sum of waits and downloads."""
+        timeline = session_timeline(session)
+        total = sum(e.wait_s for e in timeline) + sum(
+            e.download_end_t - e.request_t for e in timeline
+        )
+        assert timeline[-1].download_end_t == pytest.approx(total)
+
+
+class TestTimelineCsv:
+    def test_csv_shape(self, session):
+        text = timeline_csv(session)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("segment,")
+        assert len(lines) == 13  # header + 12 entries
+
+    def test_csv_written(self, session, tmp_path):
+        path = tmp_path / "timeline.csv"
+        text = timeline_csv(session, path)
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_csv_parseable(self, session):
+        import csv
+        import io
+
+        rows = list(csv.DictReader(io.StringIO(timeline_csv(session))))
+        assert len(rows) == 12
+        assert float(rows[0]["request_t"]) >= 0.0

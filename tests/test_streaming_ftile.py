@@ -1,0 +1,81 @@
+"""Unit tests for the Ftile variable tiling."""
+
+import pytest
+
+from repro.geometry import Viewport
+from repro.streaming import build_ftile_partition, build_video_ftiles
+
+
+def viewports(centers):
+    return [Viewport(yaw, pitch) for yaw, pitch in centers]
+
+
+class TestBuildPartition:
+    def test_exactly_ten_cells(self):
+        part = build_ftile_partition(viewports([(100, 0)] * 10))
+        assert len(part.cells) == 10
+
+    def test_cells_tile_the_frame(self):
+        part = build_ftile_partition(viewports([(100, 0), (250, 10)]))
+        total = sum(c.area_fraction for c in part.cells)
+        assert total == pytest.approx(1.0)
+
+    def test_cells_disjoint(self):
+        part = build_ftile_partition(viewports([(100, 0)] * 6))
+        cells = part.cells
+        for i in range(len(cells)):
+            for j in range(i + 1, len(cells)):
+                assert not cells[i].rect.overlaps(cells[j].rect)
+
+    def test_popular_region_gets_small_cells(self):
+        """Popularity-weighted splitting focuses cells on the hot spot."""
+        part = build_ftile_partition(viewports([(100.0, 0.0)] * 20))
+        hot = Viewport(100.0, 0.0)
+        hot_cells = [c for c in part.cells if c.overlaps_viewport(hot)]
+        cold_cells = [c for c in part.cells if not c.overlaps_viewport(hot)]
+        assert hot_cells and cold_cells
+        mean_hot = sum(c.area_fraction for c in hot_cells) / len(hot_cells)
+        mean_cold = sum(c.area_fraction for c in cold_cells) / len(cold_cells)
+        assert mean_hot < mean_cold
+
+    def test_no_viewers_still_partitions(self):
+        part = build_ftile_partition([])
+        assert len(part.cells) == 10
+        assert sum(c.area_fraction for c in part.cells) == pytest.approx(1.0)
+
+    def test_custom_tile_count(self):
+        part = build_ftile_partition(viewports([(100, 0)] * 5), n_tiles=4)
+        assert len(part.cells) == 4
+
+    def test_invalid_tile_count(self):
+        with pytest.raises(ValueError):
+            build_ftile_partition([], n_tiles=0)
+
+    def test_keys_unique(self):
+        part = build_ftile_partition(viewports([(50, 10), (200, -20)]))
+        keys = [c.key for c in part.cells]
+        assert len(set(keys)) == len(keys)
+
+
+class TestViewportCells:
+    def test_viewport_hits_some_cells(self):
+        part = build_ftile_partition(viewports([(100, 0)] * 8))
+        hit = part.viewport_cells(Viewport(100.0, 0.0))
+        assert hit
+        assert all(c.overlaps_viewport(Viewport(100.0, 0.0)) for c in hit)
+
+    def test_far_viewport_hits_other_cells(self):
+        part = build_ftile_partition(viewports([(100, 0)] * 8))
+        near = {c.key for c in part.viewport_cells(Viewport(100.0, 0.0))}
+        far = {c.key for c in part.viewport_cells(Viewport(280.0, 0.0))}
+        assert near != far
+
+
+class TestBuildVideoFtiles:
+    def test_one_partition_per_segment(self, small_dataset, video2, ftiles2):
+        assert len(ftiles2) == video2.num_segments
+        assert all(len(p.cells) == 10 for p in ftiles2)
+
+    def test_requires_traces(self, video2):
+        with pytest.raises(ValueError):
+            build_video_ftiles(video2, [])

@@ -1,0 +1,112 @@
+"""Unit tests for the shared-bottleneck multi-client simulation."""
+
+import pytest
+
+from repro.streaming import (
+    CtileScheme,
+    PtileScheme,
+    SessionConfig,
+    capacity_sweep,
+    run_shared_link,
+)
+
+
+@pytest.fixture
+def short_config():
+    return SessionConfig(max_segments=15)
+
+
+class TestRunSharedLink:
+    def test_single_client_equals_full_link(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        from repro.streaming import run_session
+
+        head = small_dataset.test_traces(2)[0]
+        shared = run_shared_link(
+            CtileScheme, manifest2, [head], network_traces[1], device,
+            config=short_config,
+        )
+        solo = run_session(
+            CtileScheme(), manifest2, head, network_traces[1], device,
+            config=short_config,
+        )
+        assert shared.per_client[0].total_energy_j == pytest.approx(
+            solo.total_energy_j
+        )
+
+    def test_fair_share_scaling(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        heads = small_dataset.test_traces(2)[:2]
+        shared = run_shared_link(
+            CtileScheme, manifest2, heads, network_traces[0], device,
+            config=short_config,
+        )
+        assert shared.n_clients == 2
+        assert shared.fair_share_trace.mean_mbps == pytest.approx(
+            network_traces[0].mean_mbps / 2
+        )
+
+    def test_quality_degrades_with_contention(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        heads = small_dataset.test_traces(2)
+        alone = run_shared_link(
+            CtileScheme, manifest2, heads[:1], network_traces[0], device,
+            config=short_config,
+        )
+        crowded = run_shared_link(
+            CtileScheme, manifest2, heads[:4], network_traces[0], device,
+            config=short_config,
+        )
+        assert crowded.mean_quality <= alone.mean_quality
+
+    def test_empty_clients_rejected(
+        self, manifest2, network_traces, device
+    ):
+        with pytest.raises(ValueError):
+            run_shared_link(
+                CtileScheme, manifest2, [], network_traces[1], device
+            )
+
+
+class TestCapacitySweep:
+    def test_sweep_shape(
+        self, small_dataset, manifest2, network_traces, device, ptiles2,
+        short_config
+    ):
+        heads = small_dataset.test_traces(2)
+        results = capacity_sweep(
+            PtileScheme, manifest2, heads, network_traces[0], device,
+            client_counts=(1, 2, 4), ptiles=ptiles2, config=short_config,
+        )
+        assert set(results) == {1, 2, 4}
+        qualities = [results[n].mean_quality for n in (1, 2, 4)]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_ptile_scales_further_than_ctile(
+        self, small_dataset, manifest2, network_traces, device, ptiles2,
+        short_config
+    ):
+        """The deployment argument: Ptile sustains more viewers per
+        cell at a given quality than Ctile."""
+        heads = small_dataset.test_traces(2)
+        ptile = capacity_sweep(
+            PtileScheme, manifest2, heads, network_traces[0], device,
+            client_counts=(4,), ptiles=ptiles2, config=short_config,
+        )[4]
+        ctile = capacity_sweep(
+            CtileScheme, manifest2, heads, network_traces[0], device,
+            client_counts=(4,), config=short_config,
+        )[4]
+        assert ptile.mean_quality >= ctile.mean_quality
+
+    def test_invalid_count(
+        self, small_dataset, manifest2, network_traces, device
+    ):
+        with pytest.raises(ValueError):
+            capacity_sweep(
+                CtileScheme, manifest2, small_dataset.test_traces(2),
+                network_traces[1], device, client_counts=(0,),
+            )

@@ -1,0 +1,164 @@
+"""Integration tests for the streaming session simulator."""
+
+import pytest
+
+from repro.power import TilingScheme
+from repro.streaming import (
+    CtileScheme,
+    NontileScheme,
+    PtileScheme,
+    SessionConfig,
+    run_session,
+)
+
+
+@pytest.fixture(scope="module")
+def session_inputs(request):
+    return None
+
+
+def _run(scheme, manifest, dataset, traces, device, vid=2, ptiles=None,
+         ftiles=None, config=None):
+    head = dataset.test_traces(vid)[0]
+    return run_session(
+        scheme,
+        manifest,
+        head,
+        traces[1],
+        device,
+        ptiles=ptiles,
+        ftiles=ftiles,
+        config=config or SessionConfig(),
+    )
+
+
+class TestSessionBasics:
+    def test_record_per_segment(self, small_dataset, manifest2, network_traces,
+                                device):
+        result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device)
+        assert result.num_segments == manifest2.num_segments
+        assert [r.index for r in result.records] == list(
+            range(manifest2.num_segments)
+        )
+
+    def test_max_segments(self, small_dataset, manifest2, network_traces, device):
+        cfg = SessionConfig(max_segments=5)
+        result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device, config=cfg)
+        assert result.num_segments == 5
+
+    def test_energy_components_positive(self, small_dataset, manifest2,
+                                        network_traces, device):
+        result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device)
+        assert result.energy.transmission_j > 0
+        assert result.energy.decoding_j > 0
+        assert result.energy.rendering_j > 0
+        assert result.total_energy_j == pytest.approx(
+            result.energy.transmission_j
+            + result.energy.decoding_j
+            + result.energy.rendering_j
+        )
+
+    def test_metadata_propagated(self, small_dataset, manifest2, network_traces,
+                                 device):
+        result = _run(NontileScheme(), manifest2, small_dataset, network_traces,
+                      device)
+        assert result.scheme_name == "nontile"
+        assert result.video_id == 2
+        assert result.device_name == device.name
+        assert result.network_name == network_traces[1].name
+
+    def test_deterministic(self, small_dataset, manifest2, network_traces,
+                           device):
+        a = _run(CtileScheme(), manifest2, small_dataset, network_traces, device)
+        b = _run(CtileScheme(), manifest2, small_dataset, network_traces, device)
+        assert a.total_energy_j == b.total_energy_j
+        assert a.mean_qoe == b.mean_qoe
+
+
+class TestSchemeBehaviour:
+    def test_ptile_mostly_hits(self, small_dataset, manifest2, network_traces,
+                               device, ptiles2):
+        result = _run(PtileScheme(), manifest2, small_dataset, network_traces,
+                      device, ptiles=ptiles2)
+        assert result.ptile_hit_rate > 0.5
+
+    def test_ptile_decodes_cheaper_than_ctile(
+        self, small_dataset, manifest2, network_traces, device, ptiles2
+    ):
+        ptile = _run(PtileScheme(), manifest2, small_dataset, network_traces,
+                     device, ptiles=ptiles2)
+        ctile = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                     device)
+        assert ptile.energy.decoding_j < ctile.energy.decoding_j
+
+    def test_ptile_downloads_less_than_ctile(
+        self, small_dataset, manifest2, network_traces, device, ptiles2
+    ):
+        ptile = _run(PtileScheme(), manifest2, small_dataset, network_traces,
+                     device, ptiles=ptiles2)
+        ctile = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                     device)
+        assert ptile.energy.transmission_j < ctile.energy.transmission_j
+
+    def test_nontile_full_coverage(self, small_dataset, manifest2,
+                                   network_traces, device):
+        result = _run(NontileScheme(), manifest2, small_dataset, network_traces,
+                      device)
+        assert result.mean_coverage == pytest.approx(1.0)
+
+    def test_decode_scheme_recorded(self, small_dataset, manifest2,
+                                    network_traces, device, ptiles2):
+        result = _run(PtileScheme(), manifest2, small_dataset, network_traces,
+                      device, ptiles=ptiles2)
+        schemes = {r.decode_scheme for r in result.records}
+        assert TilingScheme.PTILE in schemes
+
+
+class TestStartupAndStalls:
+    def test_first_segment_not_counted_as_rebuffer(
+        self, small_dataset, manifest2, network_traces, device
+    ):
+        result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device)
+        assert result.records[0].stall_s == 0.0
+        assert result.records[0].qoe.rebuffer_penalty == 0.0
+
+    def test_startup_stall_opt_in(self, small_dataset, manifest2,
+                                  network_traces, device):
+        cfg = SessionConfig(count_startup_stall=True, max_segments=3)
+        result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device, config=cfg)
+        assert result.records[0].qoe.rebuffer_penalty > 0.0
+
+    def test_buffer_bounded(self, small_dataset, manifest2, network_traces,
+                            device):
+        result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device)
+        for record in result.records:
+            assert record.buffer_before_s <= 3.0 + 1e-9
+
+
+class TestQoEPlumbing:
+    def test_coverage_in_unit_interval(self, small_dataset, manifest2,
+                                       network_traces, device, ptiles2):
+        result = _run(PtileScheme(), manifest2, small_dataset, network_traces,
+                      device, ptiles=ptiles2)
+        for record in result.records:
+            assert 0.0 <= record.coverage <= 1.0
+
+    def test_qo_effective_bounded(self, small_dataset, manifest2,
+                                  network_traces, device):
+        result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device)
+        for record in result.records:
+            assert 0.0 <= record.qo_effective <= 100.0
+
+    def test_empty_video_rejected(self, small_dataset, manifest2,
+                                  network_traces, device):
+        cfg = SessionConfig(max_segments=0)
+        with pytest.raises(ValueError):
+            _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                 device, config=cfg)

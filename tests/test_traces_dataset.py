@@ -1,0 +1,80 @@
+"""Unit tests for evaluation-dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.traces import build_dataset
+
+
+class TestBuildDataset:
+    def test_small_dataset_shape(self, small_dataset):
+        assert len(small_dataset.videos) == 2
+        assert small_dataset.n_users == 16
+        for vid in (2, 8):
+            assert len(small_dataset.traces[vid]) == 16
+            assert len(small_dataset.train_users[vid]) == 12
+            assert len(small_dataset.test_users[vid]) == 4
+
+    def test_split_disjoint_and_complete(self, small_dataset):
+        for vid in (2, 8):
+            train = set(small_dataset.train_users[vid])
+            test = set(small_dataset.test_users[vid])
+            assert train.isdisjoint(test)
+            assert train | test == set(range(16))
+
+    def test_split_deterministic(self):
+        a = build_dataset(n_users=10, n_train=7, video_ids=(2,), max_duration_s=5)
+        b = build_dataset(n_users=10, n_train=7, video_ids=(2,), max_duration_s=5)
+        assert a.train_users == b.train_users
+
+    def test_split_varies_with_seed(self):
+        a = build_dataset(n_users=12, n_train=8, video_ids=(2,), max_duration_s=5,
+                          seed=1)
+        b = build_dataset(n_users=12, n_train=8, video_ids=(2,), max_duration_s=5,
+                          seed=2)
+        assert a.train_users != b.train_users
+
+    def test_truncation(self, small_dataset):
+        video = small_dataset.video(2)
+        assert video.num_segments == 30
+        trace = small_dataset.traces[2][0]
+        assert trace.duration_s >= 29.0
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError):
+            build_dataset(n_users=10, n_train=10)
+        with pytest.raises(ValueError):
+            build_dataset(n_users=10, n_train=0)
+
+    def test_unknown_video_rejected(self):
+        with pytest.raises(KeyError):
+            build_dataset(video_ids=(99,), max_duration_s=5)
+
+    def test_video_lookup(self, small_dataset):
+        assert small_dataset.video(8).meta.video_id == 8
+        with pytest.raises(KeyError):
+            small_dataset.video(3)
+
+    def test_trace_lookup(self, small_dataset):
+        user = small_dataset.test_users[2][0]
+        trace = small_dataset.trace(2, user)
+        assert trace.user_id == user
+        with pytest.raises(KeyError):
+            small_dataset.trace(2, 999)
+
+    def test_train_test_trace_accessors(self, small_dataset):
+        train = small_dataset.train_traces(2)
+        test = small_dataset.test_traces(2)
+        assert len(train) == 12
+        assert len(test) == 4
+        assert {t.user_id for t in train}.isdisjoint({t.user_id for t in test})
+
+    def test_all_switching_speeds_pooled(self, small_dataset):
+        speeds = small_dataset.all_switching_speeds()
+        per_trace = sum(
+            t.switching_speeds().size
+            for ts in small_dataset.traces.values()
+            for t in ts
+        )
+        assert speeds.size == per_trace
+        assert np.all(speeds >= 0)

@@ -1,0 +1,167 @@
+"""Unit tests for external dataset-format loaders."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import angles_to_quaternion
+from repro.traces import (
+    load_angle_trace,
+    load_dataset_directory,
+    load_quaternion_trace,
+)
+
+
+def write_quaternion_log(path, samples, header=True):
+    """samples: list of (timestamp, playback_t, yaw, pitch)."""
+    lines = []
+    if header:
+        lines.append("Timestamp,PlaybackTime,UnitQuaternion.w,x,y,z,extra")
+    for ts, pt, yaw, pitch in samples:
+        q = angles_to_quaternion(yaw, pitch)
+        lines.append(
+            f"{ts},{pt},{q[0]:.8f},{q[1]:.8f},{q[2]:.8f},{q[3]:.8f},junk"
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestQuaternionTrace:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "user_0.csv"
+        write_quaternion_log(
+            path,
+            [(100.0 + i, i * 0.1, 50.0 + i, -5.0) for i in range(20)],
+        )
+        trace = load_quaternion_trace(path, user_id=3, video_id=2)
+        assert trace.user_id == 3
+        assert trace.video_id == 2
+        assert trace.num_samples == 20
+        yaw, pitch = trace.orientation_at(0.05)
+        assert yaw == pytest.approx(50.5, abs=0.1)
+        assert pitch == pytest.approx(-5.0, abs=0.1)
+
+    def test_playback_vs_wall_time(self, tmp_path):
+        path = tmp_path / "user_0.csv"
+        write_quaternion_log(
+            path, [(100.0 + i, i * 0.5, 10.0, 0.0) for i in range(5)]
+        )
+        playback = load_quaternion_trace(path)
+        wall = load_quaternion_trace(path, use_playback_time=False)
+        assert playback.timestamps[0] == 0.0
+        assert wall.timestamps[0] == 100.0
+
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "user_0.csv"
+        write_quaternion_log(
+            path, [(i, i * 0.1, 30.0, 10.0) for i in range(5)], header=False
+        )
+        trace = load_quaternion_trace(path)
+        assert trace.num_samples == 5
+
+    def test_duplicate_timestamps_dropped(self, tmp_path):
+        path = tmp_path / "user_0.csv"
+        write_quaternion_log(
+            path,
+            [(0, 0.0, 10.0, 0.0), (1, 0.1, 11.0, 0.0), (2, 0.1, 12.0, 0.0),
+             (3, 0.2, 13.0, 0.0)],
+        )
+        trace = load_quaternion_trace(path)
+        assert trace.num_samples == 3
+
+    def test_seam_crossing_unwrapped(self, tmp_path):
+        path = tmp_path / "user_0.csv"
+        write_quaternion_log(
+            path,
+            [(i, i * 0.1, yaw, 0.0)
+             for i, yaw in enumerate([350.0, 355.0, 0.0, 5.0])],
+        )
+        trace = load_quaternion_trace(path)
+        speeds = trace.switching_speeds()
+        assert np.all(speeds < 100.0)  # no 360-degree jumps
+
+    def test_too_few_rows(self, tmp_path):
+        path = tmp_path / "user_0.csv"
+        write_quaternion_log(path, [(0, 0.0, 10.0, 0.0)])
+        with pytest.raises(ValueError):
+            load_quaternion_trace(path)
+
+    def test_too_few_columns(self, tmp_path):
+        path = tmp_path / "user_0.csv"
+        path.write_text("h\n1,2,3\n4,5,6\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_quaternion_trace(path)
+
+
+class TestAngleTrace:
+    def test_native_round_trip(self, tmp_path, small_dataset):
+        original = small_dataset.traces[2][0]
+        path = tmp_path / "user_0.csv"
+        original.to_csv(path)
+        loaded = load_angle_trace(path, user_id=0, video_id=2)
+        assert np.allclose(loaded.pitch, original.pitch, atol=1e-5)
+
+
+class TestDatasetDirectory:
+    @pytest.fixture
+    def dataset_dir(self, tmp_path, small_dataset):
+        root = tmp_path / "external"
+        for vid in (2, 8):
+            video_dir = root / f"video_{vid}"
+            video_dir.mkdir(parents=True)
+            for trace in small_dataset.traces[vid][:8]:
+                # Mix native and quaternion formats per user.
+                path = video_dir / f"user_{trace.user_id}.csv"
+                if trace.user_id % 2 == 0:
+                    trace.to_csv(path)
+                else:
+                    samples = [
+                        (float(t), float(t),
+                         float(trace.yaw_wrapped[i]), float(trace.pitch[i]))
+                        for i, t in enumerate(trace.timestamps[:100])
+                    ]
+                    write_quaternion_log(path, samples)
+        return root
+
+    def test_loads_mixed_formats(self, dataset_dir):
+        dataset = load_dataset_directory(dataset_dir, n_train=5)
+        assert {v.meta.video_id for v in dataset.videos} == {2, 8}
+        assert len(dataset.traces[2]) == 8
+        assert len(dataset.train_users[2]) == 5
+        assert len(dataset.test_users[2]) == 3
+
+    def test_split_seeded(self, dataset_dir):
+        a = load_dataset_directory(dataset_dir, n_train=5, seed=1)
+        b = load_dataset_directory(dataset_dir, n_train=5, seed=1)
+        assert a.train_users == b.train_users
+
+    def test_fraction_split(self, dataset_dir):
+        dataset = load_dataset_directory(dataset_dir)
+        assert len(dataset.train_users[2]) == round(8 * 40 / 48)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_directory(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError):
+            load_dataset_directory(tmp_path / "empty")
+
+    def test_unknown_video_id(self, tmp_path, small_dataset):
+        root = tmp_path / "bad"
+        video_dir = root / "video_99"
+        video_dir.mkdir(parents=True)
+        small_dataset.traces[2][0].to_csv(video_dir / "user_0.csv")
+        with pytest.raises(KeyError):
+            load_dataset_directory(root)
+
+    def test_pipeline_runs_on_loaded_dataset(self, dataset_dir):
+        """The loaded dataset drives Ptile construction end to end."""
+        from repro.geometry import DEFAULT_GRID
+        from repro.ptile import build_video_ptiles
+
+        dataset = load_dataset_directory(dataset_dir, n_train=6)
+        video = dataset.video(2)
+        ptiles = build_video_ptiles(
+            video, dataset.train_traces(2), DEFAULT_GRID
+        )
+        assert len(ptiles) == video.num_segments

@@ -1,0 +1,145 @@
+"""Unit tests for LTE network traces."""
+
+import numpy as np
+import pytest
+
+from repro.traces import NetworkTrace, generate_lte_trace, paper_traces
+
+
+class TestNetworkTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkTrace("x", np.array([]))
+        with pytest.raises(ValueError):
+            NetworkTrace("x", np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            NetworkTrace("x", np.array([1.0]), bin_seconds=0.0)
+
+    def test_bandwidth_at(self):
+        trace = NetworkTrace("x", np.array([1.0, 2.0, 4.0]))
+        assert trace.bandwidth_at(0.5) == 1.0
+        assert trace.bandwidth_at(1.0) == 2.0
+        assert trace.bandwidth_at(2.9) == 4.0
+
+    def test_cyclic_wrap(self):
+        trace = NetworkTrace("x", np.array([1.0, 2.0]))
+        assert trace.bandwidth_at(2.5) == 1.0
+        assert trace.bandwidth_at(3.0) == 2.0
+
+    def test_negative_time_rejected(self):
+        trace = NetworkTrace("x", np.array([1.0]))
+        with pytest.raises(ValueError):
+            trace.bandwidth_at(-0.1)
+
+    def test_stats(self):
+        trace = NetworkTrace("x", np.array([1.0, 3.0]))
+        assert trace.mean_mbps == 2.0
+        assert trace.min_mbps == 1.0
+        assert trace.max_mbps == 3.0
+        assert trace.duration_s == 2.0
+
+
+class TestDownloadTime:
+    def test_within_one_bin(self):
+        trace = NetworkTrace("x", np.array([4.0, 4.0]))
+        assert trace.download_time(2.0, 0.0) == pytest.approx(0.5)
+
+    def test_zero_size(self):
+        trace = NetworkTrace("x", np.array([4.0]))
+        assert trace.download_time(0.0, 1.0) == 0.0
+
+    def test_crosses_bins(self):
+        trace = NetworkTrace("x", np.array([1.0, 3.0]))
+        # 1 Mbit in bin 0 (1 s), then 1.5 Mbit at 3 Mbps (0.5 s).
+        assert trace.download_time(2.5, 0.0) == pytest.approx(1.5)
+
+    def test_mid_bin_start(self):
+        trace = NetworkTrace("x", np.array([2.0, 4.0]))
+        # From t=0.5: 1 Mbit in the remaining half of bin 0, then 2 Mbit
+        # at 4 Mbps.
+        assert trace.download_time(3.0, 0.5) == pytest.approx(1.0)
+
+    def test_wraps_cyclically(self):
+        trace = NetworkTrace("x", np.array([1.0]))
+        assert trace.download_time(5.0, 0.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        trace = NetworkTrace("x", np.array([1.0]))
+        with pytest.raises(ValueError):
+            trace.download_time(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            trace.download_time(1.0, -0.5)
+
+    def test_consistency_with_mean_throughput(self):
+        rng = np.random.default_rng(1)
+        trace = NetworkTrace("x", rng.uniform(2, 8, 30))
+        size = 12.0
+        dl = trace.download_time(size, 3.3)
+        realized = size / dl
+        assert trace.min_mbps <= realized <= trace.max_mbps
+
+
+class TestScaling:
+    def test_scaled_values(self):
+        trace = NetworkTrace("x", np.array([1.0, 2.0]))
+        doubled = trace.scaled(2.0)
+        assert np.allclose(doubled.bandwidth_mbps, [2.0, 4.0])
+
+    def test_scaled_name(self):
+        trace = NetworkTrace("x", np.array([1.0]))
+        assert trace.scaled(2.0).name == "xx2"
+        assert trace.scaled(2.0, name="t1").name == "t1"
+
+    def test_invalid_factor(self):
+        trace = NetworkTrace("x", np.array([1.0]))
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+
+class TestGeneratedTraces:
+    def test_trace2_statistics(self):
+        trace = generate_lte_trace(600)
+        assert trace.mean_mbps == pytest.approx(3.9, abs=0.05)
+        assert trace.min_mbps == pytest.approx(2.3, abs=0.01)
+        assert trace.max_mbps == pytest.approx(8.4, abs=0.01)
+
+    def test_paper_pair_relation(self):
+        t1, t2 = paper_traces(400)
+        assert np.allclose(t1.bandwidth_mbps, 2.0 * t2.bandwidth_mbps)
+        assert t1.name == "trace1"
+        assert t2.name == "trace2"
+
+    def test_deterministic(self):
+        a = generate_lte_trace(200, seed=5)
+        b = generate_lte_trace(200, seed=5)
+        assert np.allclose(a.bandwidth_mbps, b.bandwidth_mbps)
+
+    def test_seed_changes_trace(self):
+        a = generate_lte_trace(200, seed=5)
+        b = generate_lte_trace(200, seed=6)
+        assert not np.allclose(a.bandwidth_mbps, b.bandwidth_mbps)
+
+    def test_varies_over_time(self):
+        trace = generate_lte_trace(300)
+        assert np.std(trace.bandwidth_mbps) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_lte_trace(5)
+        with pytest.raises(ValueError):
+            generate_lte_trace(100, mean_mbps=1.0, min_mbps=2.0, max_mbps=8.0)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = generate_lte_trace(50)
+        path = tmp_path / "net.csv"
+        trace.to_csv(path)
+        loaded = NetworkTrace.from_csv(path)
+        assert np.allclose(loaded.bandwidth_mbps, trace.bandwidth_mbps, atol=1e-5)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope\n1.0\n")
+        with pytest.raises(ValueError):
+            NetworkTrace.from_csv(path)

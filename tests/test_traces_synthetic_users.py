@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic head-movement generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    BehaviorParams,
+    generate_roi_path,
+    generate_user_trace,
+    generate_video_traces,
+)
+from repro.video import build_catalog
+
+
+@pytest.fixture(scope="module")
+def videos():
+    return build_catalog()
+
+
+class TestBehaviorParams:
+    def test_defaults_valid(self):
+        BehaviorParams()
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            BehaviorParams(sample_rate_hz=0.0)
+
+    def test_invalid_waypoint_interval(self):
+        with pytest.raises(ValueError):
+            BehaviorParams(waypoint_interval_s=(5.0, 2.0))
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            BehaviorParams(secondary_attention_share=1.5)
+
+
+class TestRoiPath:
+    def test_duration(self, videos):
+        params = BehaviorParams()
+        roi = generate_roi_path(videos[0], params)
+        expected = videos[0].meta.duration_s * params.sample_rate_hz + 1
+        assert roi.num_samples == int(expected)
+
+    def test_deterministic(self, videos):
+        a = generate_roi_path(videos[1], seed=9)
+        b = generate_roi_path(videos[1], seed=9)
+        assert np.allclose(a.yaw_unwrapped, b.yaw_unwrapped)
+
+    def test_pitch_bounded(self, videos):
+        roi = generate_roi_path(videos[0])
+        assert np.all(roi.pitch >= -45.0) and np.all(roi.pitch <= 35.0)
+
+    def test_moves(self, videos):
+        roi = generate_roi_path(videos[0])
+        assert np.ptp(roi.yaw_unwrapped) > 30.0
+
+
+class TestUserTraces:
+    def test_deterministic_per_user(self, videos):
+        roi = generate_roi_path(videos[0])
+        a = generate_user_trace(videos[0], 3, roi, seed=11)
+        b = generate_user_trace(videos[0], 3, roi, seed=11)
+        assert np.allclose(a.yaw_unwrapped, b.yaw_unwrapped)
+
+    def test_users_distinct(self, videos):
+        traces = generate_video_traces(videos[0], n_users=4)
+        yaws = [t.yaw_unwrapped for t in traces]
+        assert not np.allclose(yaws[0], yaws[1])
+
+    def test_needs_users(self, videos):
+        with pytest.raises(ValueError):
+            generate_video_traces(videos[0], n_users=0)
+
+    def test_user_and_video_ids_set(self, videos):
+        traces = generate_video_traces(videos[2], n_users=3)
+        assert [t.user_id for t in traces] == [0, 1, 2]
+        assert all(t.video_id == 3 for t in traces)
+
+    def test_pitch_within_headset_range(self, videos):
+        traces = generate_video_traces(videos[7], n_users=3)
+        for t in traces:
+            assert np.all(np.abs(t.pitch) <= 85.0)
+
+
+class TestBehavioralRegimes:
+    def test_focused_users_cluster(self, videos):
+        """Focused video: users' viewing centers stay near each other."""
+        traces = generate_video_traces(videos[1], n_users=10)  # video 2
+        spreads = []
+        for k in range(10, 60, 10):
+            yaws = []
+            for t in traces:
+                yaw, _ = t.segment_center(k)
+                yaws.append(np.radians(yaw))
+            # circular std
+            c = np.mean(np.cos(yaws))
+            s = np.mean(np.sin(yaws))
+            spreads.append(np.degrees(np.sqrt(-2 * np.log(np.hypot(c, s)))))
+        assert np.median(spreads) < 35.0
+
+    def test_exploratory_users_spread_more(self, videos):
+        focused = generate_video_traces(videos[1], n_users=8)
+        exploring = generate_video_traces(videos[6], n_users=8)  # video 7
+
+        def spread(traces, k):
+            yaws = [np.radians(t.segment_center(k)[0]) for t in traces]
+            c, s = np.mean(np.cos(yaws)), np.mean(np.sin(yaws))
+            r = min(np.hypot(c, s), 1.0 - 1e-12)
+            return np.degrees(np.sqrt(-2 * np.log(r)))
+
+        ks = range(20, 140, 20)
+        f = np.median([spread(focused, k) for k in ks])
+        e = np.median([spread(exploring, k) for k in ks])
+        assert e > f
+
+    def test_switching_speed_distribution(self, videos):
+        """Fig. 5 shape: a substantial share of samples above 10 deg/s."""
+        speeds = []
+        for video in (videos[0], videos[6]):
+            for t in generate_video_traces(video, n_users=6):
+                speeds.append(t.switching_speeds())
+        pooled = np.concatenate(speeds)
+        frac = float(np.mean(pooled > 10.0))
+        assert 0.2 < frac < 0.7  # paper: >30% of time

@@ -1,0 +1,121 @@
+"""Unit tests for the video catalog and content features."""
+
+import pytest
+
+from repro.video import (
+    SI_RANGE,
+    TI_RANGE,
+    SegmentFeatures,
+    VIDEO_CATALOG,
+    VideoMeta,
+    build_catalog,
+    build_video,
+)
+
+
+class TestCatalogMetadata:
+    def test_eight_videos(self):
+        assert len(VIDEO_CATALOG) == 8
+        assert [m.video_id for m in VIDEO_CATALOG] == list(range(1, 9))
+
+    def test_table3_durations(self):
+        durations = {m.video_id: m.duration_s for m in VIDEO_CATALOG}
+        assert durations[1] == 6 * 60 + 1
+        assert durations[2] == 2 * 60 + 52
+        assert durations[5] == 4 * 60 + 52
+        assert durations[8] == 3 * 60 + 21
+
+    def test_behavior_split(self):
+        for meta in VIDEO_CATALOG:
+            expected = "focused" if meta.video_id <= 4 else "exploratory"
+            assert meta.behavior == expected
+
+    def test_table3_titles(self):
+        titles = {m.video_id: m.title for m in VIDEO_CATALOG}
+        assert titles[1] == "Basketball Match"
+        assert titles[8] == "Freestyle Skiing"
+
+    def test_4k30_defaults(self):
+        for meta in VIDEO_CATALOG:
+            assert meta.fps == 30
+            assert (meta.width_px, meta.height_px) == (3840, 2160)
+
+    def test_invalid_behavior_rejected(self):
+        with pytest.raises(ValueError):
+            VideoMeta(9, "x", 10, 30.0, 10.0, "confused")
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            VideoMeta(9, "x", 0, 30.0, 10.0, "focused")
+
+
+class TestSegmentFeatures:
+    def test_valid(self):
+        seg = SegmentFeatures(0, 30.0, 10.0)
+        assert seg.index == 0
+
+    def test_si_out_of_range(self):
+        with pytest.raises(ValueError):
+            SegmentFeatures(0, SI_RANGE[1] + 1, 10.0)
+
+    def test_ti_out_of_range(self):
+        with pytest.raises(ValueError):
+            SegmentFeatures(0, 30.0, TI_RANGE[0] - 1)
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            SegmentFeatures(-1, 30.0, 10.0)
+
+
+class TestBuildVideo:
+    def test_segment_count_equals_duration(self):
+        video = build_video(VIDEO_CATALOG[0])
+        assert video.num_segments == VIDEO_CATALOG[0].duration_s
+
+    def test_deterministic(self):
+        a = build_video(VIDEO_CATALOG[2])
+        b = build_video(VIDEO_CATALOG[2])
+        assert a.segments == b.segments
+
+    def test_seed_changes_features(self):
+        a = build_video(VIDEO_CATALOG[2], seed=1)
+        b = build_video(VIDEO_CATALOG[2], seed=2)
+        assert a.segments != b.segments
+
+    def test_features_near_base(self):
+        video = build_video(VIDEO_CATALOG[0])
+        assert video.mean_si() == pytest.approx(VIDEO_CATALOG[0].si_base, abs=5.0)
+        assert video.mean_ti() == pytest.approx(VIDEO_CATALOG[0].ti_base, abs=3.0)
+
+    def test_features_in_range(self):
+        for video in build_catalog():
+            for seg in video:
+                assert SI_RANGE[0] <= seg.si <= SI_RANGE[1]
+                assert TI_RANGE[0] <= seg.ti <= TI_RANGE[1]
+
+    def test_autocorrelated(self):
+        import numpy as np
+
+        video = build_video(VIDEO_CATALOG[0])
+        si = np.array([s.si for s in video.segments])
+        corr = np.corrcoef(si[:-1], si[1:])[0, 1]
+        assert corr > 0.5  # AR(1) with phi=0.9 should correlate strongly
+
+    def test_segment_accessor_bounds(self):
+        video = build_video(VIDEO_CATALOG[1])
+        assert video.segment(0).index == 0
+        with pytest.raises(IndexError):
+            video.segment(video.num_segments)
+        with pytest.raises(IndexError):
+            video.segment(-1)
+
+
+class TestBuildCatalog:
+    def test_videos_distinct(self):
+        catalog = build_catalog(seed=7)
+        si_means = [v.mean_si() for v in catalog]
+        assert len(set(round(x, 3) for x in si_means)) == len(catalog)
+
+    def test_catalog_order(self):
+        catalog = build_catalog()
+        assert [v.meta.video_id for v in catalog] == list(range(1, 9))

@@ -1,0 +1,63 @@
+"""Unit tests for the frame-rate ladder."""
+
+import pytest
+
+from repro.video import DEFAULT_LADDER, FrameRateLadder
+
+
+class TestDefaultLadder:
+    def test_paper_rates(self):
+        # 30 fps reduced by 30/20/10 percent, then the original.
+        assert DEFAULT_LADDER.rates() == (21.0, 24.0, 27.0, 30.0)
+
+    def test_indices(self):
+        assert DEFAULT_LADDER.rate(1) == 21.0
+        assert DEFAULT_LADDER.rate(4) == 30.0
+        assert DEFAULT_LADDER.max_index == 4
+        assert DEFAULT_LADDER.num_levels == 4
+
+    def test_index_of(self):
+        assert DEFAULT_LADDER.index_of(24.0) == 2
+        assert DEFAULT_LADDER.index_of(30.0) == 4
+
+    def test_index_of_unknown(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.index_of(25.0)
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.rate(0)
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.rate(5)
+
+
+class TestCustomLadders:
+    def test_sixty_fps(self):
+        ladder = FrameRateLadder(fps=60.0, reductions=(0.5, 0.25))
+        assert ladder.rates() == (30.0, 45.0, 60.0)
+
+    def test_no_reductions(self):
+        ladder = FrameRateLadder(fps=30.0, reductions=())
+        assert ladder.rates() == (30.0,)
+        assert ladder.max_index == 1
+
+    def test_rates_ascending(self):
+        assert list(DEFAULT_LADDER.rates()) == sorted(DEFAULT_LADDER.rates())
+
+    def test_invalid_fps(self):
+        with pytest.raises(ValueError):
+            FrameRateLadder(fps=0.0)
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            FrameRateLadder(reductions=(1.0,))
+        with pytest.raises(ValueError):
+            FrameRateLadder(reductions=(0.0,))
+
+    def test_unsorted_reductions_rejected(self):
+        with pytest.raises(ValueError):
+            FrameRateLadder(reductions=(0.1, 0.3, 0.2))
+
+    def test_duplicate_reductions_rejected(self):
+        with pytest.raises(ValueError):
+            FrameRateLadder(reductions=(0.2, 0.2))

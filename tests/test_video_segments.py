@@ -1,0 +1,73 @@
+"""Unit tests for segment manifests."""
+
+import pytest
+
+from repro.geometry import Tile
+from repro.video import VideoManifest
+
+
+class TestVideoManifest:
+    def test_length_matches_video(self, manifest2, video2):
+        assert len(manifest2) == video2.num_segments
+        assert manifest2.num_segments == video2.num_segments
+
+    def test_fps(self, manifest2):
+        assert manifest2.fps == 30.0
+
+    def test_iteration(self, manifest2):
+        manifests = list(manifest2)
+        assert len(manifests) == manifest2.num_segments
+        assert manifests[0].segment_index == 0
+
+    def test_segment_features_propagated(self, manifest2, video2):
+        seg = video2.segment(3)
+        assert manifest2[3].si == seg.si
+        assert manifest2[3].ti == seg.ti
+
+
+class TestSegmentManifest:
+    def test_tile_size_stable(self, manifest2):
+        m = manifest2[0]
+        assert m.tile_size_mbit(Tile(1, 1), 3) == m.tile_size_mbit(Tile(1, 1), 3)
+
+    def test_tile_sizes_differ_across_tiles(self, manifest2):
+        m = manifest2[0]
+        assert m.tile_size_mbit(Tile(1, 1), 3) != m.tile_size_mbit(Tile(1, 2), 3)
+
+    def test_tiles_size_sums(self, manifest2):
+        m = manifest2[0]
+        tiles = [Tile(0, 0), Tile(0, 1), Tile(1, 0)]
+        total = m.tiles_size_mbit(tiles, 2)
+        assert total == pytest.approx(
+            sum(m.tile_size_mbit(t, 2) for t in tiles)
+        )
+
+    def test_region_size_stable_across_qualities(self, manifest2):
+        # Same region key: the noise draw must be shared so quality
+        # monotonicity is preserved.
+        m = manifest2[0]
+        sizes = [m.region_size_mbit("ptile-0", 9 / 32, q) for q in (1, 2, 3, 4, 5)]
+        assert sizes == sorted(sizes)
+
+    def test_region_size_frame_rate(self, manifest2):
+        m = manifest2[0]
+        full = m.region_size_mbit("ptile-0", 9 / 32, 3)
+        reduced = m.region_size_mbit("ptile-0", 9 / 32, 3, frame_rate=21.0)
+        assert reduced < full
+
+    def test_full_frame_size(self, manifest2):
+        m = manifest2[0]
+        assert m.full_frame_size_mbit(3) > m.region_size_mbit("r", 9 / 32, 3)
+
+    def test_quality_monotone_tile_sizes(self, manifest2):
+        m = manifest2[5]
+        sizes = [m.tile_size_mbit(Tile(2, 3), q) for q in (1, 2, 3, 4, 5)]
+        assert sizes == sorted(sizes)
+
+    def test_qoe_bitrate_monotone(self, manifest2):
+        m = manifest2[5]
+        values = [m.qoe_bitrate_mbps(q) for q in (1, 2, 3, 4, 5)]
+        assert values == sorted(values)
+
+    def test_grid_exposed(self, manifest2, encoder):
+        assert manifest2[0].grid == encoder.grid

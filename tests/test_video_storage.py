@@ -1,0 +1,49 @@
+"""Unit tests for the server storage model."""
+
+import pytest
+
+from repro.video.storage import StorageReport, storage_report
+
+
+@pytest.fixture(scope="module")
+def report(manifest2, ptiles2):
+    return storage_report(manifest2, ptiles2)
+
+
+class TestStorageReport:
+    def test_all_positive(self, report):
+        assert report.ctile_mbit > 0
+        assert report.nontile_mbit > 0
+        assert report.ptile_extra_mbit > 0
+
+    def test_ptile_costs_extra(self, report):
+        assert report.ptile_total_mbit > report.ctile_mbit
+        assert report.overhead_factor > 1.0
+
+    def test_overhead_bounded(self, report):
+        # A handful of Ptiles per segment must not explode storage: the
+        # extra versions are a small multiple of the base ladder.
+        assert report.overhead_factor < 4.0
+
+    def test_nontile_cheapest(self, report):
+        # The monolithic encode avoids all per-tile overhead.
+        assert report.nontile_mbit < report.ctile_mbit
+
+    def test_ptile_count(self, report, ptiles2):
+        assert report.num_ptiles == sum(sp.num_ptiles for sp in ptiles2)
+
+    def test_gbytes_conversion(self, report):
+        assert report.gbytes("ctile") == pytest.approx(
+            report.ctile_mbit / 8 / 1024
+        )
+        with pytest.raises(KeyError):
+            report.gbytes("bogus")
+
+    def test_report_lines(self, report):
+        lines = report.report()
+        assert any("ptile" in ln for ln in lines)
+        assert any("GB" in ln for ln in lines)
+
+    def test_segment_mismatch_rejected(self, manifest2, ptiles2):
+        with pytest.raises(ValueError):
+            storage_report(manifest2, ptiles2[:-1])
