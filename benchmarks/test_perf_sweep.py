@@ -1,0 +1,116 @@
+"""Sweep-throughput micro-benchmarks (sessions/second).
+
+Quantifies the two PR-level optimizations:
+
+* the cached/vectorized hot path — ``EnergyQoEMpc.choose`` versus the
+  scalar ``choose_reference`` it replaced, on identical windows;
+* end-to-end session throughput through the sweep runner, serial and
+  with a 2-worker pool (on multicore hardware the pool multiplies the
+  serial gain; on one core it only adds dispatch overhead).
+
+Throughput lands in ``extra_info`` (``--benchmark-json`` exposes it), so
+before/after comparisons are one jq invocation away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimizer import EnergyQoEMpc, MpcSegment
+from repro.experiments import make_schemes
+from repro.experiments.runner import (
+    SessionJob,
+    SweepContext,
+    run_session_jobs,
+)
+from repro.power import PIXEL_3
+from repro.power.energy import EnergyModel
+from repro.video.framerate import DEFAULT_LADDER
+
+from conftest import bench_users, run_once, shared_setup
+
+
+def _mpc_windows(n_windows: int = 100):
+    rng = np.random.default_rng(2022)
+    rates = DEFAULT_LADDER.rates()
+    windows = []
+    for _ in range(n_windows):
+        sizes = np.sort(rng.lognormal(1.0, 0.8, size=5))[:, None] * (
+            0.7 + 0.3 * np.asarray(rates) / max(rates)
+        )
+        qoe = np.sort(rng.uniform(1.0, 5.0, size=5))[:, None] * np.sort(
+            rng.uniform(0.6, 1.0, size=len(rates))
+        )
+        window = [
+            MpcSegment(sizes_mbit=sizes, qoe=qoe, frame_rates=rates)
+            for _ in range(5)
+        ]
+        windows.append((window, float(10 ** rng.uniform(0.0, 2.0)), 2.0))
+    return windows
+
+
+def test_mpc_choose_vectorized(benchmark):
+    mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+    windows = _mpc_windows()
+
+    def solve():
+        return [mpc.choose(w, bw, b) for w, bw, b in windows]
+
+    decisions = run_once(benchmark, solve)
+    assert len(decisions) == len(windows)
+
+
+def test_mpc_choose_reference(benchmark):
+    """The pre-vectorization DP, for the before/after ratio."""
+    mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+    windows = _mpc_windows()
+
+    def solve():
+        return [mpc.choose_reference(w, bw, b) for w, bw, b in windows]
+
+    decisions = run_once(benchmark, solve)
+    assert len(decisions) == len(windows)
+
+
+def _sweep_inputs():
+    setup = shared_setup()
+    vid = setup.videos[0].meta.video_id
+    context = SweepContext(
+        schemes=make_schemes(PIXEL_3),
+        device=PIXEL_3,
+        networks={"trace2": setup.trace2},
+        manifests={vid: setup.manifest(vid)},
+        head_traces={
+            vid: tuple(setup.dataset.test_traces(vid)[: bench_users()])
+        },
+        ptiles={vid: setup.ptiles(vid)},
+        ftiles={vid: setup.ftiles(vid)},
+        config=setup.session_config,
+    )
+    jobs = [
+        SessionJob(key=(name, vid, u), scheme=name, video_id=vid,
+                   network="trace2", user_index=u)
+        for name in context.schemes
+        for u in range(len(context.head_traces[vid]))
+    ]
+    return context, jobs
+
+
+def test_sweep_serial_throughput(benchmark):
+    context, jobs = _sweep_inputs()
+    run = run_once(
+        benchmark, run_session_jobs, context, jobs, workers=1
+    )
+    assert not run.failures
+    benchmark.extra_info["sessions_per_second"] = run.sessions_per_second
+    benchmark.extra_info["num_sessions"] = run.num_jobs
+
+
+def test_sweep_pool_throughput(benchmark):
+    context, jobs = _sweep_inputs()
+    run = run_once(
+        benchmark, run_session_jobs, context, jobs, workers=2
+    )
+    assert not run.failures
+    benchmark.extra_info["sessions_per_second"] = run.sessions_per_second
+    benchmark.extra_info["workers"] = run.workers

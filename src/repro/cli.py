@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2017, help="dataset seed"
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for session sweeps (1 = serial,"
+             " 0 = auto-detect CPUs); results are identical either way",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="write the report to this file (report command)",
     )
@@ -88,7 +93,7 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
     elif name == "table3":
         print_lines(table3_rows())
     elif name == "fig2":
-        print_lines(run_fig2().report())
+        print_lines(run_fig2(workers=args.workers).report())
     elif name == "fig4":
         print_lines(run_fig4().report())
     elif name == "fig5":
@@ -106,7 +111,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
     elif name in ("fig9", "fig11"):
         device = get_device(args.device)
         setup = make_setup(max_duration_s=args.duration, seed=args.seed)
-        results = run_comparison(setup, device, users_per_video=args.users)
+        results = run_comparison(setup, device, users_per_video=args.users,
+                                 workers=args.workers)
         if name == "fig9":
             print_lines(summarize_energy(results, device.name).report())
         else:
@@ -115,7 +121,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         setup = make_setup(max_duration_s=args.duration, seed=args.seed)
         for device_name in ("nexus5x", "galaxys20"):
             device = get_device(device_name)
-            comparison = run_fig9(setup, device, users_per_video=args.users)
+            comparison = run_fig9(setup, device, users_per_video=args.users,
+                                  workers=args.workers)
             print_lines(comparison.report())
     elif name == "ablation":
         from .experiments import (
@@ -131,16 +138,21 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         setup = _make_setup(max_duration_s=args.duration, seed=args.seed,
                             video_ids=(5, 8))
         sweeps = {
-            "MPC horizon": sweep_mpc_horizon(setup, users=args.users),
-            "QoE tolerance": sweep_qoe_tolerance(setup, users=args.users),
-            "frame-rate ladder": sweep_frame_rate_ladder(setup,
-                                                         users=args.users),
+            "MPC horizon": sweep_mpc_horizon(
+                setup, users=args.users, workers=args.workers
+            ),
+            "QoE tolerance": sweep_qoe_tolerance(
+                setup, users=args.users, workers=args.workers
+            ),
+            "frame-rate ladder": sweep_frame_rate_ladder(
+                setup, users=args.users, workers=args.workers
+            ),
             "bandwidth estimator": sweep_bandwidth_estimator(
-                setup, users=args.users
+                setup, users=args.users, workers=args.workers
             ),
             "clustering sigma": sweep_clustering_sigma(setup),
             "viewport predictor": sweep_viewport_predictor(
-                setup, users=args.users
+                setup, users=args.users, workers=args.workers
             ),
         }
         for title, points in sweeps.items():
@@ -155,6 +167,7 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             users_per_video=args.users,
             device=args.device,
             seed=args.seed,
+            workers=args.workers,
         )
         text = generate_report(report_config, path=args.output)
         if args.output:
@@ -180,7 +193,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _main(argv: list[str] | None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be >= 0 (0 = auto-detect)")
     if args.experiment == "all":
         names = [
             "table1", "table2", "table3",

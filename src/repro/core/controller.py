@@ -40,7 +40,25 @@ __all__ = ["OursScheme"]
 
 @dataclass(frozen=True)
 class OursScheme:
-    """Energy-efficient and QoE-aware Ptile streaming with MPC."""
+    """Energy-efficient and QoE-aware Ptile streaming with MPC.
+
+    The instance carries two memoization caches (attached via
+    ``object.__setattr__`` since the dataclass is frozen):
+
+    * ``_mpc_cache`` — one :class:`EnergyQoEMpc` (and its
+      :class:`EnergyModel`) per segment duration, so the controller is
+      built once per session configuration instead of once per segment;
+    * ``_version_cache`` — per (video, segment, Ptile geometry, fps,
+      ladder) download-size matrices and Q_o columns.  The H-segment
+      lookahead window slides one segment per plan, so without the cache
+      each (segment, Ptile) matrix is rebuilt up to H times per session
+      — and once per user on top of that, although every session over
+      the same video shares identical manifests and Ptiles.
+
+    Only the switching-speed-dependent frame-rate factor (Eq. 4) is
+    recomputed per plan; cached entries are never mutated, so cached and
+    uncached planning are bit-identical.
+    """
 
     device: DevicePowerModel
     ladder: FrameRateLadder = DEFAULT_LADDER
@@ -48,6 +66,10 @@ class OursScheme:
     mpc_config: MpcConfig = field(default_factory=MpcConfig)
     fallback: CtileScheme = field(default_factory=CtileScheme)
     name: str = "ours"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_mpc_cache", {})
+        object.__setattr__(self, "_version_cache", {})
 
     def plan(self, ctx: PlanContext) -> DownloadPlan:
         if ctx.segment_ptiles is None:
@@ -57,9 +79,7 @@ class OursScheme:
             return self._fallback_plan(ctx)
 
         segments = self._lookahead(ctx, ptile)
-        mpc = EnergyQoEMpc(
-            EnergyModel(self.device, ctx.segment_seconds), self.mpc_config
-        )
+        mpc = self._mpc(ctx.segment_seconds)
         decision = mpc.choose(segments, ctx.bandwidth_mbps, ctx.buffer_s)
         size = float(
             segments[0].sizes_mbit[decision.quality - 1, decision.frame_rate_index - 1]
@@ -75,6 +95,15 @@ class OursScheme:
         )
 
     # ------------------------------------------------------------------
+
+    def _mpc(self, segment_seconds: float) -> EnergyQoEMpc:
+        mpc = self._mpc_cache.get(segment_seconds)
+        if mpc is None:
+            mpc = EnergyQoEMpc(
+                EnergyModel(self.device, segment_seconds), self.mpc_config
+            )
+            self._mpc_cache[segment_seconds] = mpc
+        return mpc
 
     def _lookahead(self, ctx: PlanContext, current_ptile: Ptile) -> list[MpcSegment]:
         """Build the MPC window from the metadata of the next H segments.
@@ -106,16 +135,57 @@ class OursScheme:
         ptile: Ptile,
         segment_ptiles: SegmentPtiles | None,
     ) -> MpcSegment:
-        """Download sizes and predicted QoE for every (v, f) version."""
+        """Download sizes and predicted QoE for every (v, f) version.
+
+        The size matrix and per-quality Q_o column depend only on the
+        segment, the Ptile, and the ladder, so they are memoized; the
+        frame-rate factor depends on the per-plan switching-speed
+        prediction and is recomputed each call.
+        """
         rates = self.ladder.rates()
-        qualities = QUALITY_LEVELS
         alpha = alpha_from_behavior(
             max(ctx.predicted_speed_deg_s, 0.0), manifest.ti
         )
+        sizes, qo = self._version_tables(
+            ctx, manifest, ptile, segment_ptiles, rates
+        )
+        factors = np.array([
+            frame_rate_factor(rate, ctx.fps, alpha) for rate in rates
+        ])
+        qoe = qo[:, None] * factors[None, :]
+        return MpcSegment(sizes_mbit=sizes, qoe=qoe, frame_rates=rates)
 
+    def _version_tables(
+        self,
+        ctx: PlanContext,
+        manifest: SegmentManifest,
+        ptile: Ptile,
+        segment_ptiles: SegmentPtiles | None,
+        rates: tuple[float, ...],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Memoized (sizes, qo) tables; the cached arrays are shared and
+        must not be mutated."""
+        from_segment = (
+            segment_ptiles is not None
+            and ptile.index < len(segment_ptiles.ptiles)
+            and segment_ptiles.ptiles[ptile.index] is ptile
+        )
+        key = (
+            manifest.video_id,
+            manifest.segment_index,
+            ptile.region_key,
+            ptile.tiles,
+            from_segment,
+            ctx.fps,
+            rates,
+        )
+        cached = self._version_cache.get(key)
+        if cached is not None:
+            return cached
+
+        qualities = QUALITY_LEVELS
         # Low-quality remainder blocks: fixed cost across versions.
-        if segment_ptiles is not None and ptile.index < len(segment_ptiles.ptiles) \
-                and segment_ptiles.ptiles[ptile.index] is ptile:
+        if from_segment:
             remainder = segment_ptiles.remainder_for(ptile)
         else:
             remainder = partition_remainder(ptile.grid, ptile)
@@ -125,9 +195,9 @@ class OursScheme:
         )
 
         sizes = np.empty((len(qualities), len(rates)))
-        qoe = np.empty_like(sizes)
+        qo = np.empty(len(qualities))
         for vi, v in enumerate(qualities):
-            qo = self.quality_model.qo(
+            qo[vi] = self.quality_model.qo(
                 manifest.si, manifest.ti, manifest.qoe_bitrate_mbps(v)
             )
             for fi, rate in enumerate(rates):
@@ -141,8 +211,8 @@ class OursScheme:
                     )
                     + background
                 )
-                qoe[vi, fi] = qo * frame_rate_factor(rate, ctx.fps, alpha)
-        return MpcSegment(sizes_mbit=sizes, qoe=qoe, frame_rates=rates)
+        self._version_cache[key] = (sizes, qo)
+        return sizes, qo
 
     def _fallback_plan(self, ctx: PlanContext) -> DownloadPlan:
         plan = self.fallback.plan(ctx)

@@ -108,11 +108,25 @@ class MpcDecision:
 
 
 class EnergyQoEMpc:
-    """Solves the horizon problem of Eq. 8 by buffer-state DP."""
+    """Solves the horizon problem of Eq. 8 by buffer-state DP.
+
+    :meth:`choose` is the production hot path: the per-(v, f) download
+    times and Eq. 1 energies are computed as numpy matrices once per
+    lookahead segment instead of once per (state, version) pair, the
+    per-frame-rate decode/render energies are cached across calls, and
+    the DP scan itself runs over pre-flattened plain-Python lists (at
+    the paper's 5x5 version grid, per-element numpy indexing costs more
+    than the arithmetic it feeds).  :meth:`choose_reference` keeps the
+    original scalar dynamic program; both return bit-identical decisions
+    (the fast path replicates the reference's iteration order and
+    tie-breaking exactly), which the parity regression test enforces.
+    """
 
     def __init__(self, energy_model: EnergyModel, config: MpcConfig = MpcConfig()):
         self.energy_model = energy_model
         self.config = config
+        # (frame_rates tuple) -> (decode_j, render_j) arrays, one per rate.
+        self._rate_cache: dict[tuple[float, ...], tuple[np.ndarray, np.ndarray]] = {}
 
     def choose(
         self,
@@ -125,6 +139,109 @@ class EnergyQoEMpc:
         ``segments`` holds the current segment first, then up to H-1
         future segments (a shorter list near the video end is fine).
         """
+        if not segments:
+            raise ValueError("need at least one lookahead segment")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        bandwidth_mbps = bandwidth_mbps * self.config.bandwidth_safety
+        window = segments[: self.config.horizon]
+        cfg = self.config
+        levels = cfg.state_levels()
+        trans_w = self.energy_model.device.transmission_mw * 1e-3
+
+        start = cfg.snap(buffer_s)
+        costs: dict[int, float] = {start: 0.0}
+        paths: dict[int, list[tuple[int, int]]] = {start: []}
+
+        levels_list = levels.tolist()
+        seg_s = cfg.segment_seconds
+        threshold = cfg.buffer_threshold_s
+        one_minus_eps = 1.0 - cfg.qoe_tolerance
+
+        for segment in window:
+            v_count = segment.num_qualities
+            f_count = segment.num_rates
+            dl = segment.sizes_mbit / bandwidth_mbps  # (V, F)
+            decode_j, render_j = self._rate_energies(segment.frame_rates)
+            # Same association order as _version_energy: (t + d) + r.
+            energy = trans_w * dl + decode_j + render_j
+            # Flatten to plain-Python lists once: the DP scan below is
+            # pure scalar work, where list indexing beats numpy scalar
+            # indexing by an order of magnitude at this problem size.
+            energy_flat = energy.ravel().tolist()
+            dl_flat = dl.ravel().tolist()
+            dl_top = dl[:, -1].tolist()
+            qoe_flat = segment.qoe.ravel().tolist()
+            qoe_top = segment.qoe[:, -1].tolist()
+            n_versions = v_count * f_count
+
+            new_costs: dict[int, float] = {}
+            new_paths: dict[int, list[tuple[int, int]]] = {}
+            for state, cost in costs.items():
+                buffer_level = levels_list[state]
+                # Feasible versions, reference semantics: highest
+                # bitrate sustainable at the top frame rate sets the
+                # QoE floor; candidates must download before the
+                # buffer drains.
+                cap = seg_s if seg_s < buffer_level else buffer_level
+                vm = 0
+                for v in range(v_count, 0, -1):
+                    if dl_top[v - 1] <= cap:
+                        vm = v
+                        break
+                if vm == 0:
+                    # Nothing stall-free: lowest bitrate, QoE tolerance
+                    # within its own frame-rate ladder.
+                    floor = one_minus_eps * qoe_top[0]
+                    feasible = [
+                        f for f in range(f_count) if qoe_flat[f] >= floor
+                    ]
+                else:
+                    floor = one_minus_eps * qoe_top[vm - 1]
+                    feasible = [
+                        j
+                        for j in range(n_versions)
+                        if dl_flat[j] <= buffer_level
+                        and qoe_flat[j] >= floor
+                    ]
+                    if not feasible:  # pragma: no cover - safety net
+                        feasible = [(vm - 1) * f_count + f_count - 1]
+                # Flat ascending j is exactly the reference's (v asc,
+                # f asc) scan, so strict-< updates reproduce its
+                # tie-breaking and dict insertion order.
+                for j in feasible:
+                    next_level = buffer_level - dl_flat[j]
+                    if next_level < 0.0:
+                        next_level = 0.0
+                    next_level += seg_s
+                    target = cfg.snap(
+                        next_level if next_level < threshold else threshold
+                    )
+                    total = cost + energy_flat[j]
+                    prev = new_costs.get(target)
+                    if prev is None or total < prev:
+                        new_costs[target] = total
+                        new_paths[target] = paths[state] + [
+                            (j // f_count + 1, j % f_count + 1)
+                        ]
+            costs, paths = new_costs, new_paths
+
+        best_state = min(costs, key=lambda s: costs[s])
+        first_v, first_f = paths[best_state][0]
+        return MpcDecision(
+            quality=first_v,
+            frame_rate_index=first_f,
+            frame_rate=window[0].frame_rates[first_f - 1],
+            planned_energy_j=float(costs[best_state]),
+        )
+
+    def choose_reference(
+        self,
+        segments: list[MpcSegment],
+        bandwidth_mbps: float,
+        buffer_s: float,
+    ) -> MpcDecision:
+        """The original scalar DP, kept as the parity oracle for tests."""
         if not segments:
             raise ValueError("need at least one lookahead segment")
         if bandwidth_mbps <= 0:
@@ -169,6 +286,24 @@ class EnergyQoEMpc:
         )
 
     # ------------------------------------------------------------------
+
+    def _rate_energies(
+        self, frame_rates: tuple[float, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-frame-rate decode and render energies, cached."""
+        cached = self._rate_cache.get(frame_rates)
+        if cached is None:
+            decode_j = np.array([
+                self.energy_model.decoding_energy_j(TilingScheme.PTILE, rate)
+                for rate in frame_rates
+            ])
+            render_j = np.array([
+                self.energy_model.rendering_energy_j(rate)
+                for rate in frame_rates
+            ])
+            cached = (decode_j, render_j)
+            self._rate_cache[frame_rates] = cached
+        return cached
 
     def _feasible_versions(
         self, segment: MpcSegment, bandwidth_mbps: float, buffer_s: float

@@ -26,9 +26,21 @@ from .fig8 import Fig8Result, PAPER_MEDIANS, run_fig8
 from .fig9 import EnergyComparison, run_fig9, summarize_energy
 from .fig11 import QoEComparison, run_fig11, summarize_qoe
 from .report import format_normalized, format_row, format_table, print_lines
+from .runner import (
+    JobFailure,
+    JobTiming,
+    SessionJob,
+    SweepContext,
+    SweepRun,
+    parallel_map,
+    resolve_chunk_size,
+    resolve_workers,
+    run_session_jobs,
+)
 from .setup import (
     ExperimentSetup,
     SCHEME_ORDER,
+    build_sweep,
     make_schemes,
     make_setup,
     run_comparison,
@@ -74,8 +86,18 @@ __all__ = [
     "format_row",
     "format_table",
     "print_lines",
+    "JobFailure",
+    "JobTiming",
+    "SessionJob",
+    "SweepContext",
+    "SweepRun",
+    "parallel_map",
+    "resolve_chunk_size",
+    "resolve_workers",
+    "run_session_jobs",
     "ExperimentSetup",
     "SCHEME_ORDER",
+    "build_sweep",
     "make_schemes",
     "make_setup",
     "run_comparison",

@@ -32,8 +32,10 @@ from ..prediction.bandwidth import (
 )
 from ..ptile.construction import PtileConfig, build_video_ptiles
 from ..ptile.coverage import coverage_stats
-from ..streaming.session import SessionConfig, run_session
+from ..streaming.metrics import SessionResult
+from ..streaming.session import SessionConfig
 from ..video.framerate import FrameRateLadder
+from .runner import SessionJob, SweepContext, run_session_jobs
 from .setup import ExperimentSetup
 
 __all__ = [
@@ -67,6 +69,40 @@ class AblationPoint:
         return line
 
 
+def _run_sessions(
+    setup: ExperimentSetup,
+    device: DevicePowerModel,
+    scheme: OursScheme,
+    video_id: int,
+    users: int,
+    session_config: SessionConfig | None = None,
+    workers: int | None = 1,
+) -> list[SessionResult]:
+    """All per-user sessions of one ablation point, via the sweep runner."""
+    context = SweepContext(
+        schemes={scheme.name: scheme},
+        device=device,
+        networks={"trace2": setup.trace2},
+        manifests={video_id: setup.manifest(video_id)},
+        head_traces={
+            video_id: tuple(setup.dataset.test_traces(video_id)[:users])
+        },
+        ptiles={video_id: setup.ptiles(video_id)},
+        config=session_config or setup.session_config,
+    )
+    jobs = [
+        SessionJob(
+            key=(scheme.name, video_id, user),
+            scheme=scheme.name,
+            video_id=video_id,
+            network="trace2",
+            user_index=user,
+        )
+        for user in range(len(context.head_traces[video_id]))
+    ]
+    return run_session_jobs(context, jobs, workers=workers).results
+
+
 def _run_ours(
     setup: ExperimentSetup,
     device: DevicePowerModel,
@@ -74,16 +110,11 @@ def _run_ours(
     video_id: int,
     users: int,
     session_config: SessionConfig | None = None,
+    workers: int | None = 1,
 ) -> tuple[float, float, float, float]:
-    manifest = setup.manifest(video_id)
-    ptiles = setup.ptiles(video_id)
-    sessions = [
-        run_session(
-            scheme, manifest, trace, setup.trace2, device,
-            ptiles=ptiles, config=session_config or setup.session_config,
-        )
-        for trace in setup.dataset.test_traces(video_id)[:users]
-    ]
+    sessions = _run_sessions(
+        setup, device, scheme, video_id, users, session_config, workers
+    )
     return (
         float(np.mean([s.energy_per_segment_j for s in sessions])),
         float(np.mean([s.mean_qoe for s in sessions])),
@@ -98,6 +129,7 @@ def sweep_mpc_horizon(
     device: DevicePowerModel = PIXEL_3,
     video_id: int = 8,
     users: int = 2,
+    workers: int | None = 1,
 ) -> list[AblationPoint]:
     """Energy/QoE versus the MPC lookahead H."""
     points = []
@@ -105,7 +137,7 @@ def sweep_mpc_horizon(
         scheme = OursScheme(device=device, mpc_config=MpcConfig(horizon=horizon))
         config = replace(setup.session_config, horizon=horizon)
         energy, qoe, rebuffers, fps = _run_ours(
-            setup, device, scheme, video_id, users, config
+            setup, device, scheme, video_id, users, config, workers
         )
         points.append(
             AblationPoint(f"H={horizon}", energy, qoe, rebuffers,
@@ -120,6 +152,7 @@ def sweep_qoe_tolerance(
     device: DevicePowerModel = PIXEL_3,
     video_id: int = 8,
     users: int = 2,
+    workers: int | None = 1,
 ) -> list[AblationPoint]:
     """Energy/QoE versus the constraint (8c) tolerance epsilon."""
     points = []
@@ -128,7 +161,7 @@ def sweep_qoe_tolerance(
             device=device, mpc_config=MpcConfig(qoe_tolerance=eps)
         )
         energy, qoe, rebuffers, fps = _run_ours(
-            setup, device, scheme, video_id, users
+            setup, device, scheme, video_id, users, workers=workers
         )
         points.append(
             AblationPoint(f"eps={eps:.0%}", energy, qoe, rebuffers,
@@ -142,6 +175,7 @@ def sweep_frame_rate_ladder(
     device: DevicePowerModel = PIXEL_3,
     video_id: int = 5,
     users: int = 2,
+    workers: int | None = 1,
 ) -> list[AblationPoint]:
     """Ours with no / the paper's / a deeper frame-rate ladder."""
     ladders = {
@@ -153,7 +187,7 @@ def sweep_frame_rate_ladder(
     for label, ladder in ladders.items():
         scheme = OursScheme(device=device, ladder=ladder)
         energy, qoe, rebuffers, fps = _run_ours(
-            setup, device, scheme, video_id, users
+            setup, device, scheme, video_id, users, workers=workers
         )
         points.append(
             AblationPoint(label, energy, qoe, rebuffers, extra={"fps": fps})
@@ -166,6 +200,7 @@ def sweep_bandwidth_estimator(
     device: DevicePowerModel = PIXEL_3,
     video_id: int = 8,
     users: int = 2,
+    workers: int | None = 1,
 ) -> list[AblationPoint]:
     """Harmonic mean (paper) versus EWMA versus last sample.
 
@@ -181,7 +216,8 @@ def sweep_bandwidth_estimator(
         "last sample": LastSampleEstimator(),
     }
     energy, qoe, rebuffers, _ = _run_ours(
-        setup, device, OursScheme(device=device), video_id, users
+        setup, device, OursScheme(device=device), video_id, users,
+        workers=workers,
     )
     points = []
     for label, estimator in estimators.items():
@@ -252,6 +288,7 @@ def sweep_viewport_predictor(
     device: DevicePowerModel = PIXEL_3,
     video_id: int = 8,
     users: int = 2,
+    workers: int | None = 1,
 ) -> list[AblationPoint]:
     """Static persistence vs ridge regression (paper) vs a clairvoyant
     oracle, measured by coverage of the actually-watched viewport.
@@ -269,19 +306,13 @@ def sweep_viewport_predictor(
         "ridge (paper)": None,
         "oracle (bound)": oracle_predictor_factory,
     }
-    manifest = setup.manifest(video_id)
-    ptiles = setup.ptiles(video_id)
     points = []
     for label, factory in factories.items():
         config = replace(setup.session_config, predictor_factory=factory)
         scheme = OursScheme(device=device)
-        sessions = [
-            run_session(
-                scheme, manifest, trace, setup.trace2, device,
-                ptiles=ptiles, config=config,
-            )
-            for trace in setup.dataset.test_traces(video_id)[:users]
-        ]
+        sessions = _run_sessions(
+            setup, device, scheme, video_id, users, config, workers
+        )
         points.append(
             AblationPoint(
                 label,

@@ -104,8 +104,14 @@ def run_fig11(
     device: DevicePowerModel = PIXEL_3,
     users_per_video: int | None = None,
     results: dict[tuple[str, str, int], list[SessionResult]] | None = None,
+    workers: int | None = 1,
 ) -> QoEComparison:
-    """Run (or reuse) the session matrix and summarize QoE."""
+    """Run (or reuse) the session matrix and summarize QoE.
+
+    ``workers`` parallelizes the sweep (0 = auto-detect) without
+    changing its results.
+    """
     if results is None:
-        results = run_comparison(setup, device, users_per_video)
+        results = run_comparison(setup, device, users_per_video,
+                                 workers=workers)
     return summarize_qoe(results)

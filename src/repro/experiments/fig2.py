@@ -20,8 +20,9 @@ import numpy as np
 
 from ..power.decoding import MultiDecoderModel, PIXEL3_DECODER_MODEL
 from ..power.models import PIXEL_3, DevicePowerModel
-from ..video.content import build_catalog
+from ..video.content import Video, build_catalog
 from ..video.encoder import EncoderModel
+from .runner import parallel_map
 
 __all__ = ["Fig2Result", "run_fig2"]
 
@@ -82,33 +83,53 @@ class Fig2Result:
         return lines
 
 
+def _video_transmission_ratios(
+    payload: tuple[Video, EncoderModel, int],
+) -> list[float]:
+    """Panel (a) ratios for one video (module-level: pool-picklable)."""
+    video, encoder, segments_per_video = payload
+    area = _FOV_TILES / encoder.grid.num_tiles
+    n = video.num_segments
+    picks = np.unique(
+        np.linspace(0, n - 1, min(segments_per_video, n)).astype(int)
+    )
+    ratios = []
+    for idx in picks:
+        seg = video.segment(int(idx))
+        ptile = encoder.region_size_mbit(
+            5, seg.si, seg.ti, area,
+            noise_key=(video.meta.video_id, int(idx), "fig2-ptile"),
+        )
+        ctile = encoder.tiled_region_size_mbit(
+            5, seg.si, seg.ti, _FOV_TILES,
+            noise_key=(video.meta.video_id, int(idx), "fig2-ctile"),
+        )
+        ratios.append(ptile / ctile)
+    return ratios
+
+
 def run_fig2(
     encoder: EncoderModel | None = None,
     decoder_model: MultiDecoderModel = PIXEL3_DECODER_MODEL,
     device: DevicePowerModel = PIXEL_3,
     segments_per_video: int = 20,
+    workers: int | None = 1,
 ) -> Fig2Result:
-    """Reproduce the Fig. 2 motivation numbers."""
+    """Reproduce the Fig. 2 motivation numbers.
+
+    ``workers`` fans panel (a)'s per-video size sweeps across processes
+    (0 = auto-detect); the result is identical for any worker count.
+    """
     encoder = encoder or EncoderModel()
     videos = build_catalog()
 
     # Panel (a): FoV region at the top quality, Ptile vs separate tiles.
-    ratios = []
-    area = _FOV_TILES / encoder.grid.num_tiles
-    for video in videos:
-        n = video.num_segments
-        picks = np.unique(np.linspace(0, n - 1, min(segments_per_video, n)).astype(int))
-        for idx in picks:
-            seg = video.segment(int(idx))
-            ptile = encoder.region_size_mbit(
-                5, seg.si, seg.ti, area,
-                noise_key=(video.meta.video_id, int(idx), "fig2-ptile"),
-            )
-            ctile = encoder.tiled_region_size_mbit(
-                5, seg.si, seg.ti, _FOV_TILES,
-                noise_key=(video.meta.video_id, int(idx), "fig2-ctile"),
-            )
-            ratios.append(ptile / ctile)
+    sweep = parallel_map(
+        _video_transmission_ratios,
+        [(video, encoder, segments_per_video) for video in videos],
+        workers=workers,
+    )
+    ratios = [r for per_video in sweep.results for r in per_video]
     transmission_ratio = float(np.median(ratios))
 
     # Panel (b): the multi-decoder curves.

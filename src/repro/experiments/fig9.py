@@ -121,13 +121,16 @@ def run_fig9(
     device: DevicePowerModel = PIXEL_3,
     users_per_video: int | None = None,
     results: dict[tuple[str, str, int], list[SessionResult]] | None = None,
+    workers: int | None = 1,
 ) -> EnergyComparison:
     """Run (or reuse) the session matrix and summarize energy.
 
     Pass ``device=NEXUS_5X`` or ``GALAXY_S20`` for Fig. 10.  Passing a
     precomputed ``results`` matrix avoids re-simulating when Fig. 11
-    shares the same sessions.
+    shares the same sessions.  ``workers`` parallelizes the sweep
+    (0 = auto-detect) without changing its results.
     """
     if results is None:
-        results = run_comparison(setup, device, users_per_video)
+        results = run_comparison(setup, device, users_per_video,
+                                 workers=workers)
     return summarize_energy(results, device.name)

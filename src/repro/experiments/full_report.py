@@ -34,6 +34,7 @@ class ReportConfig:
     device: str = "pixel3"
     seed: int = 2017
     video_ids: tuple[int, ...] | None = None  # None = the full catalog
+    workers: int | None = 1  # session-sweep processes; 0 = auto-detect
 
 
 def generate_report(
@@ -74,7 +75,7 @@ def generate_report(
     code(table3_rows())
 
     emit("## Fig. 2 — motivation", "")
-    code(run_fig2().report())
+    code(run_fig2(workers=config.workers).report())
 
     setup = make_setup(
         max_duration_s=config.max_duration_s,
@@ -103,7 +104,8 @@ def generate_report(
 
     emit("## Figs. 9-11 — scheme comparison", "")
     results = run_comparison(
-        setup, device, users_per_video=config.users_per_video
+        setup, device, users_per_video=config.users_per_video,
+        workers=config.workers,
     )
     energy = summarize_energy(results, device.name)
     qoe = summarize_qoe(results)

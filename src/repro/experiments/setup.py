@@ -27,15 +27,16 @@ from ..streaming.schemes import (
     PtileScheme,
     StreamingScheme,
 )
-from ..streaming.session import SessionConfig, run_session
+from ..streaming.session import SessionConfig
 from ..traces.dataset import EvaluationDataset, build_dataset
 from ..traces.network import NetworkTrace, paper_traces
 from ..video.content import Video
 from ..video.encoder import EncoderModel
 from ..video.segments import VideoManifest
+from .runner import SessionJob, SweepContext, run_session_jobs
 
 __all__ = ["ExperimentSetup", "make_setup", "SCHEME_ORDER", "make_schemes",
-           "run_comparison"]
+           "build_sweep", "run_comparison"]
 
 SCHEME_ORDER = ("ctile", "ftile", "nontile", "ptile", "ours")
 """The schemes of Section V-A, in the paper's presentation order."""
@@ -124,46 +125,88 @@ def make_schemes(device: DevicePowerModel = PIXEL_3) -> dict[str, StreamingSchem
     }
 
 
-def run_comparison(
+def build_sweep(
     setup: ExperimentSetup,
     device: DevicePowerModel = PIXEL_3,
     users_per_video: int | None = None,
     video_ids: tuple[int, ...] | None = None,
     scheme_names: tuple[str, ...] = SCHEME_ORDER,
-) -> dict[tuple[str, str, int], list[SessionResult]]:
-    """Run the full session matrix of Section V-C.
+) -> tuple[SweepContext, list[SessionJob]]:
+    """Build the Section V-C session matrix as (context, jobs).
 
-    Returns ``{(trace_name, scheme_name, video_id): [SessionResult]}``
-    with one result per test user.  This single matrix backs Fig. 9
-    (energy, Pixel 3), Fig. 10 (other devices) and Fig. 11 (QoE).
+    Jobs are ordered video -> trace -> scheme -> user, matching the
+    historical serial loop so that results keep the same dict ordering.
     """
     schemes = make_schemes(device)
     unknown = set(scheme_names) - set(schemes)
     if unknown:
         raise KeyError(f"unknown schemes {sorted(unknown)}")
     wanted = video_ids or tuple(v.meta.video_id for v in setup.videos)
-    results: dict[tuple[str, str, int], list[SessionResult]] = {}
+
+    manifests: dict[int, VideoManifest] = {}
+    ptiles: dict[int, list[SegmentPtiles]] = {}
+    ftiles: dict[int, list[FtilePartition]] = {}
+    heads: dict[int, tuple] = {}
     for vid in wanted:
-        manifest = setup.manifest(vid)
-        ptiles = setup.ptiles(vid)
-        ftiles = setup.ftiles(vid)
+        manifests[vid] = setup.manifest(vid)
+        ptiles[vid] = setup.ptiles(vid)
+        ftiles[vid] = setup.ftiles(vid)
         test_traces = setup.dataset.test_traces(vid)
         if users_per_video is not None:
             test_traces = test_traces[:users_per_video]
-        for trace_name, network in setup.traces().items():
-            for name in scheme_names:
-                key = (trace_name, name, vid)
-                results[key] = [
-                    run_session(
-                        schemes[name],
-                        manifest,
-                        head_trace,
-                        network,
-                        device,
-                        ptiles=ptiles,
-                        ftiles=ftiles,
-                        config=setup.session_config,
-                    )
-                    for head_trace in test_traces
-                ]
+        heads[vid] = tuple(test_traces)
+
+    context = SweepContext(
+        schemes=schemes,
+        device=device,
+        networks=setup.traces(),
+        manifests=manifests,
+        head_traces=heads,
+        ptiles=ptiles,
+        ftiles=ftiles,
+        config=setup.session_config,
+    )
+    jobs = [
+        SessionJob(
+            key=(trace_name, name, vid),
+            scheme=name,
+            video_id=vid,
+            network=trace_name,
+            user_index=user,
+        )
+        for vid in wanted
+        for trace_name in context.networks
+        for name in scheme_names
+        for user in range(len(heads[vid]))
+    ]
+    return context, jobs
+
+
+def run_comparison(
+    setup: ExperimentSetup,
+    device: DevicePowerModel = PIXEL_3,
+    users_per_video: int | None = None,
+    video_ids: tuple[int, ...] | None = None,
+    scheme_names: tuple[str, ...] = SCHEME_ORDER,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+) -> dict[tuple[str, str, int], list[SessionResult]]:
+    """Run the full session matrix of Section V-C.
+
+    Returns ``{(trace_name, scheme_name, video_id): [SessionResult]}``
+    with one result per test user.  This single matrix backs Fig. 9
+    (energy, Pixel 3), Fig. 10 (other devices) and Fig. 11 (QoE).
+
+    ``workers`` fans the sessions over a process pool (0 = auto-detect,
+    1 = serial); results are identical for any worker count.
+    """
+    context, jobs = build_sweep(
+        setup, device, users_per_video, video_ids, scheme_names
+    )
+    run = run_session_jobs(
+        context, jobs, workers=workers, chunk_size=chunk_size
+    )
+    results: dict[tuple[str, str, int], list[SessionResult]] = {}
+    for job, result in zip(jobs, run.results):
+        results.setdefault(job.key, []).append(result)
     return results

@@ -46,6 +46,7 @@ class TileGrid:
         self.cols = cols
         self.tile_width = self.FRAME_WIDTH_DEG / cols
         self.tile_height = self.FRAME_HEIGHT_DEG / rows
+        self._viewport_cache: dict = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"TileGrid(rows={self.rows}, cols={self.cols})"
@@ -109,7 +110,7 @@ class TileGrid:
 
     def viewport_tiles(
         self, viewport: Viewport, min_overlap: float = 0.1
-    ) -> set[Tile]:
+    ) -> frozenset[Tile]:
         """The set of tiles covering a user viewport (the *FoV tiles*).
 
         Tiles with only a sliver of overlap (below ``min_overlap`` of
@@ -117,7 +118,16 @@ class TileGrid:
         With the paper defaults (4x8 grid, 100 degree FoV) a viewport
         then typically covers 9 tiles (3 rows x 3 columns) — the "nine
         tiles" of the paper's Fig. 2(b) experiment.
+
+        Results are memoized per (viewport, min_overlap): the same
+        predicted viewport is looked up by every scheme and by every
+        Ptile's overlap test, so the geometry sweep repeats many times
+        per segment.  The returned frozenset must not be mutated.
         """
+        cache_key = (viewport, min_overlap)
+        cached = self._viewport_cache.get(cache_key)
+        if cached is not None:
+            return cached
         overlap_by_tile: dict[Tile, float] = {}
         tile_area = self.tile_width * self.tile_height
         for rect in viewport.rects():
@@ -125,11 +135,13 @@ class TileGrid:
                 area = self.tile_rect(tile).intersection_area(rect)
                 if area > 0:
                     overlap_by_tile[tile] = overlap_by_tile.get(tile, 0.0) + area
-        return {
+        result = frozenset(
             tile
             for tile, area in overlap_by_tile.items()
             if area > min_overlap * tile_area
-        }
+        )
+        self._viewport_cache[cache_key] = result
+        return result
 
     def bounding_rect(self, tiles: Iterable[Tile]) -> Rect:
         """Smallest tile-aligned rectangle containing the given tiles.

@@ -44,6 +44,8 @@ high-motion content.
 """
 
 _MIN_ALPHA = 1e-6
+_MAX_ALPHA = 1e6
+_TI_FLOOR = 1e-3
 
 
 def alpha_from_behavior(
@@ -56,16 +58,24 @@ def alpha_from_behavior(
     Clamped below by a tiny positive value so that a perfectly static
     view keeps the factor well-defined (it degenerates to the linear
     ``f / f_m`` limit, the harshest penalty).
+
+    A non-positive TI (a static segment: nothing moves between frames)
+    is clamped to a small positive floor and the result capped at the
+    large-alpha limit, where Eq. 4 says frame-rate reduction is free —
+    dropping frames of a still image costs nothing.  The previous
+    behaviour (a hard ``ValueError``) crashed the controller mid-session
+    on synthetic static content.
     """
     if switching_speed_deg_s < 0:
         raise ValueError("switching speed must be non-negative")
-    if ti <= 0:
-        raise ValueError("TI must be positive")
     if ti_normalization <= 0:
         raise ValueError("TI normalization must be positive")
-    return max(
-        switching_speed_deg_s / (ti / ti_normalization), _MIN_ALPHA
-    )
+    if ti <= _TI_FLOOR:
+        # Static content: the large-alpha limit regardless of how fast
+        # the user is switching (0/0 in the raw Eq. 4).
+        return _MAX_ALPHA
+    alpha = max(switching_speed_deg_s / (ti / ti_normalization), _MIN_ALPHA)
+    return min(alpha, _MAX_ALPHA)
 
 
 def frame_rate_factor(frame_rate: float, max_frame_rate: float, alpha: float) -> float:

@@ -175,6 +175,12 @@ def run_session(
         download_time = network.download_time(plan.total_size_mbit, wall_t)
         if download_time > 0:
             bandwidth.add(plan.total_size_mbit / download_time)
+        else:
+            # An instantaneous download (empty or negligible payload)
+            # carries no throughput ratio; feed the trace's current
+            # bandwidth instead of dropping the sample so the
+            # harmonic-mean estimator does not go stale.
+            bandwidth.add(network.bandwidth_at(wall_t))
         event = buffer.advance(download_time)
         wall_t += download_time
 
@@ -206,10 +212,13 @@ def run_session(
         )
         qo_effective = (coverage * qo_high + (1.0 - coverage) * qo_low) * factor
 
-        stall_for_qoe = download_time
+        # Startup handling: the first download is startup delay, not a
+        # rebuffering event, unless the config opts in.  The recorded
+        # stall and the QoE penalty must agree on this.
+        count_stall = k > 0 or config.count_startup_stall
+        stall_for_qoe = download_time if count_stall else 0.0
+        stall_recorded = event.stall_s if count_stall else 0.0
         buffer_for_qoe = event.level_before_s
-        if k == 0 and not config.count_startup_stall:
-            stall_for_qoe = 0.0
         segment_qoe = qoe.segment_qoe(
             qo_effective, prev_qo, stall_for_qoe, buffer_for_qoe
         )
@@ -223,7 +232,7 @@ def run_session(
                 size_mbit=plan.total_size_mbit,
                 download_time_s=download_time,
                 wait_s=event.wait_s,
-                stall_s=0.0 if k == 0 else event.stall_s,
+                stall_s=stall_recorded,
                 buffer_before_s=event.level_before_s,
                 coverage=coverage,
                 qo_effective=qo_effective,

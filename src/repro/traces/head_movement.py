@@ -50,6 +50,10 @@ class HeadTrace:
         object.__setattr__(self, "timestamps", t)
         object.__setattr__(self, "yaw_unwrapped", yaw)
         object.__setattr__(self, "pitch", pitch)
+        # Memo for derived kinematics; every query is a pure function of
+        # the (immutable) sample arrays, and a session sweep asks for the
+        # same per-segment statistics once per scheme and network trace.
+        object.__setattr__(self, "_kinematics_cache", {})
 
     # ------------------------------------------------------------------
     # Accessors
@@ -69,9 +73,14 @@ class HeadTrace:
 
     def orientation_at(self, t: float) -> tuple[float, float]:
         """Interpolated (yaw, pitch) at time ``t`` (clamped to the trace)."""
-        t = float(np.clip(t, self.timestamps[0], self.timestamps[-1]))
-        yaw = float(np.interp(t, self.timestamps, self.yaw_unwrapped)) % 360.0
-        pitch = float(np.interp(t, self.timestamps, self.pitch))
+        cache_key = ("orientation", t)
+        cached = self._kinematics_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        tc = float(np.clip(t, self.timestamps[0], self.timestamps[-1]))
+        yaw = float(np.interp(tc, self.timestamps, self.yaw_unwrapped)) % 360.0
+        pitch = float(np.interp(tc, self.timestamps, self.pitch))
+        self._kinematics_cache[cache_key] = (yaw, pitch)
         return yaw, pitch
 
     def viewport_at(self, t: float, fov_deg: float = DEFAULT_FOV_DEG) -> Viewport:
@@ -92,10 +101,18 @@ class HeadTrace:
     # ------------------------------------------------------------------
 
     def switching_speeds(self) -> np.ndarray:
-        """Per-sample view switching speeds in degrees/second (Eq. 5)."""
-        return switching_speed_series(
-            self.timestamps, self.yaw_wrapped, self.pitch
-        )
+        """Per-sample view switching speeds in degrees/second (Eq. 5).
+
+        Computed once and cached; the returned array must not be
+        mutated.
+        """
+        speeds = self._kinematics_cache.get("speeds")
+        if speeds is None:
+            speeds = switching_speed_series(
+                self.timestamps, self.yaw_wrapped, self.pitch
+            )
+            self._kinematics_cache["speeds"] = speeds
+        return speeds
 
     def mean_speed_in(self, t0: float, t1: float) -> float:
         """Mean switching speed over a time window (e.g. one segment)."""
@@ -115,6 +132,10 @@ class HeadTrace:
             raise ValueError("window must have positive length")
         if quantile is not None and not (0.0 <= quantile <= 1.0):
             raise ValueError("quantile must be in [0, 1]")
+        cache_key = ("speed_quantile", t0, t1, quantile)
+        cached = self._kinematics_cache.get(cache_key)
+        if cached is not None:
+            return cached
         speeds = self.switching_speeds()
         mids = 0.5 * (self.timestamps[:-1] + self.timestamps[1:])
         mask = (mids >= t0) & (mids < t1)
@@ -122,11 +143,15 @@ class HeadTrace:
             # Window between samples: fall back to the enclosing interval.
             idx = int(np.searchsorted(mids, t0))
             idx = min(max(idx, 0), speeds.size - 1)
-            return float(speeds[idx])
-        window = speeds[mask]
-        if quantile is None:
-            return float(np.mean(window))
-        return float(np.quantile(window, quantile))
+            result = float(speeds[idx])
+        else:
+            window = speeds[mask]
+            if quantile is None:
+                result = float(np.mean(window))
+            else:
+                result = float(np.quantile(window, quantile))
+        self._kinematics_cache[cache_key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Persistence

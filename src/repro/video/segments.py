@@ -25,7 +25,15 @@ __all__ = ["SegmentManifest", "VideoManifest"]
 
 @dataclass(frozen=True)
 class SegmentManifest:
-    """Size oracle for one video segment."""
+    """Size oracle for one video segment.
+
+    Every query is a pure function of its arguments and the frozen
+    fields (the encoder noise is deterministic per key), so results are
+    memoized per instance: a trace-driven sweep asks for the same tile
+    and region sizes thousands of times across users and MPC lookahead
+    windows.  The cache is attached via ``object.__setattr__`` and never
+    invalidated — there is nothing to invalidate.
+    """
 
     video_id: int
     segment_index: int
@@ -33,14 +41,24 @@ class SegmentManifest:
     ti: float
     encoder: EncoderModel = field(repr=False)
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_size_cache", {})
+
     @property
     def grid(self) -> TileGrid:
         return self.encoder.grid
 
     def tile_size_mbit(self, tile: Tile, quality: float) -> float:
         """Size of one conventional grid tile at a quality level."""
-        key = (self.video_id, self.segment_index, "tile", tile.row, tile.col)
-        return self.encoder.tile_size_mbit(quality, self.si, self.ti, noise_key=key)
+        cache_key = ("tile", tile.row, tile.col, quality)
+        size = self._size_cache.get(cache_key)
+        if size is None:
+            key = (self.video_id, self.segment_index, "tile", tile.row, tile.col)
+            size = self.encoder.tile_size_mbit(
+                quality, self.si, self.ti, noise_key=key
+            )
+            self._size_cache[cache_key] = size
+        return size
 
     def tiles_size_mbit(self, tiles: Iterable[Tile], quality: float) -> float:
         """Total size of a set of separately encoded conventional tiles."""
@@ -60,16 +78,21 @@ class SegmentManifest:
         ``region_key`` identifies the region (e.g. ``"ptile-0"``) so its
         encoder noise is stable across queries and quality levels.
         """
-        key = (self.video_id, self.segment_index, region_key)
-        return self.encoder.region_size_mbit(
-            quality,
-            self.si,
-            self.ti,
-            area_fraction,
-            frame_rate=frame_rate,
-            fps=fps,
-            noise_key=key,
-        )
+        cache_key = (region_key, area_fraction, quality, frame_rate, fps)
+        size = self._size_cache.get(cache_key)
+        if size is None:
+            key = (self.video_id, self.segment_index, region_key)
+            size = self.encoder.region_size_mbit(
+                quality,
+                self.si,
+                self.ti,
+                area_fraction,
+                frame_rate=frame_rate,
+                fps=fps,
+                noise_key=key,
+            )
+            self._size_cache[cache_key] = size
+        return size
 
     def full_frame_size_mbit(self, quality: float) -> float:
         """Size of the whole frame encoded as a single tile (Nontile)."""
@@ -81,7 +104,14 @@ class SegmentManifest:
 
     def qoe_bitrate_mbps(self, quality: float, n_fov_tiles: int = 9) -> float:
         """Perceptually linearized bitrate fed to the Eq. 3 QoE model."""
-        return self.encoder.qoe_bitrate_mbps(quality, self.si, self.ti, n_fov_tiles)
+        cache_key = ("qoe_bitrate", quality, n_fov_tiles)
+        rate = self._size_cache.get(cache_key)
+        if rate is None:
+            rate = self.encoder.qoe_bitrate_mbps(
+                quality, self.si, self.ti, n_fov_tiles
+            )
+            self._size_cache[cache_key] = rate
+        return rate
 
 
 class VideoManifest:

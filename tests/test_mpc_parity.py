@@ -1,0 +1,124 @@
+"""DP-parity regression: vectorized MPC == scalar reference.
+
+``EnergyQoEMpc.choose`` (the vectorized production path) must return
+decisions bit-identical to ``choose_reference`` (the original scalar
+dynamic program) — same (v, f), same planned energy to the last ulp —
+across randomized lookahead windows, bandwidths, and buffer levels.
+Anything less means the vectorization changed experiment results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import EnergyQoEMpc, MpcConfig, MpcSegment
+from repro.power import PIXEL_3
+from repro.power.energy import EnergyModel
+from repro.video.framerate import DEFAULT_LADDER
+
+
+def random_segment(rng: np.random.Generator, rates: tuple[float, ...]) -> MpcSegment:
+    """A plausible lookahead segment: sizes and QoE grow with quality."""
+    v_count = int(rng.integers(2, 6))
+    base_sizes = np.sort(rng.lognormal(mean=1.0, sigma=0.8, size=v_count))
+    rate_factor = 0.7 + 0.3 * np.asarray(rates) / max(rates)
+    sizes = base_sizes[:, None] * rate_factor[None, :]
+    base_qoe = np.sort(rng.uniform(1.0, 5.0, size=v_count))
+    qoe_factor = np.sort(rng.uniform(0.6, 1.0, size=len(rates)))
+    qoe = base_qoe[:, None] * qoe_factor[None, :]
+    return MpcSegment(sizes_mbit=sizes, qoe=qoe, frame_rates=rates)
+
+
+def assert_same_decision(mpc, segments, bandwidth, buffer_s):
+    got = mpc.choose(segments, bandwidth, buffer_s)
+    want = mpc.choose_reference(segments, bandwidth, buffer_s)
+    assert (got.quality, got.frame_rate_index) == (
+        want.quality,
+        want.frame_rate_index,
+    ), f"decision mismatch at bw={bandwidth}, buffer={buffer_s}"
+    assert got.frame_rate == want.frame_rate
+    # Bit-identical, not approximately equal: the vectorized path must
+    # preserve the reference's floating-point operation order.
+    assert got.planned_energy_j == want.planned_energy_j
+
+
+class TestDpParity:
+    def test_randomized_windows(self):
+        rng = np.random.default_rng(20220360)
+        rates = DEFAULT_LADDER.rates()
+        mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+        for _ in range(200):
+            window = [
+                random_segment(rng, rates)
+                for _ in range(int(rng.integers(1, 6)))
+            ]
+            bandwidth = float(10 ** rng.uniform(-1.0, 2.0))
+            buffer_s = float(rng.uniform(0.0, 3.0))
+            assert_same_decision(mpc, window, bandwidth, buffer_s)
+
+    def test_starved_bandwidth_fallback_branch(self):
+        # Bandwidth so low nothing is sustainable: the vm == 0 fallback
+        # (lowest bitrate, own frame-rate ladder) must agree too.
+        rng = np.random.default_rng(7)
+        rates = DEFAULT_LADDER.rates()
+        mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+        for _ in range(50):
+            window = [random_segment(rng, rates) for _ in range(3)]
+            assert_same_decision(mpc, window, 0.05, float(rng.uniform(0.0, 3.0)))
+
+    def test_single_rate_ladder(self):
+        rng = np.random.default_rng(11)
+        mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+        for _ in range(50):
+            window = [random_segment(rng, (30.0,)) for _ in range(4)]
+            assert_same_decision(
+                mpc, window, float(10 ** rng.uniform(0.0, 1.5)), 1.5
+            )
+
+    def test_nonstandard_config(self):
+        rng = np.random.default_rng(13)
+        rates = DEFAULT_LADDER.rates()
+        config = MpcConfig(
+            horizon=3,
+            buffer_granularity_s=0.25,
+            buffer_threshold_s=4.0,
+            qoe_tolerance=0.15,
+        )
+        mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0), config)
+        for _ in range(100):
+            window = [
+                random_segment(rng, rates)
+                for _ in range(int(rng.integers(1, 5)))
+            ]
+            bandwidth = float(10 ** rng.uniform(-0.5, 2.0))
+            assert_same_decision(
+                mpc, window, bandwidth, float(rng.uniform(0.0, 4.0))
+            )
+
+    def test_repeated_calls_are_stable(self):
+        # The per-rate energy cache must not perturb later decisions.
+        rng = np.random.default_rng(17)
+        rates = DEFAULT_LADDER.rates()
+        mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+        window = [random_segment(rng, rates) for _ in range(5)]
+        first = mpc.choose(window, 25.0, 2.0)
+        for _ in range(3):
+            again = mpc.choose(window, 25.0, 2.0)
+            assert (again.quality, again.frame_rate_index, again.planned_energy_j) == (
+                first.quality,
+                first.frame_rate_index,
+                first.planned_energy_j,
+            )
+
+    def test_validation_matches_reference(self):
+        mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+        with pytest.raises(ValueError):
+            mpc.choose([], 10.0, 1.0)
+        with pytest.raises(ValueError):
+            mpc.choose_reference([], 10.0, 1.0)
+        seg = random_segment(np.random.default_rng(1), DEFAULT_LADDER.rates())
+        with pytest.raises(ValueError):
+            mpc.choose([seg], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            mpc.choose_reference([seg], 0.0, 1.0)

@@ -26,9 +26,17 @@ class TestAlpha:
         with pytest.raises(ValueError):
             alpha_from_behavior(-1.0, 15.0)
         with pytest.raises(ValueError):
-            alpha_from_behavior(10.0, 0.0)
-        with pytest.raises(ValueError):
             alpha_from_behavior(10.0, 15.0, ti_normalization=0.0)
+
+    def test_static_content_returns_large_alpha_limit(self):
+        # TI <= 0 (a static segment) no longer crashes: frame-rate
+        # reduction on still content is free, i.e. the large-alpha limit.
+        alpha = alpha_from_behavior(10.0, 0.0)
+        assert alpha >= 1e5
+        assert frame_rate_factor(21.0, 30.0, alpha) == pytest.approx(1.0)
+        # Even a static gaze on static content takes the same limit.
+        assert alpha_from_behavior(0.0, 0.0) == alpha
+        assert alpha_from_behavior(0.0, -3.0) == alpha
 
 
 class TestFrameRateFactor:

@@ -132,6 +132,12 @@ class TestStartupAndStalls:
         result = _run(CtileScheme(), manifest2, small_dataset, network_traces,
                       device, config=cfg)
         assert result.records[0].qoe.rebuffer_penalty > 0.0
+        # The recorded stall must agree with the QoE penalty: opting in
+        # makes the startup download a real stall, not a hardcoded 0.
+        assert result.records[0].stall_s > 0.0
+        assert result.records[0].stall_s == pytest.approx(
+            result.records[0].download_time_s
+        )
 
     def test_buffer_bounded(self, small_dataset, manifest2, network_traces,
                             device):
