@@ -1,0 +1,57 @@
+"""Content-preparation artifact-store benchmarks.
+
+Quantifies the PR-level optimization: a warm artifact store turns the
+content-preparation phase (manifest construction, Algorithm 1 Ptile
+clustering, Ftile partitioning) into pure deserialization.  The
+acceptance bar is a >= 3x speedup of the content-prep phase on a warm
+cache, with byte-identical downstream results (asserted in
+``tests/test_artifacts.py``); the measured cold/warm wall times and the
+speedup land in ``extra_info`` for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ArtifactStore, make_setup
+
+from conftest import bench_duration, run_once
+
+
+def _fresh_setup(store: ArtifactStore | None):
+    # A new ExperimentSetup each time: in-memory memos start empty, so
+    # only the disk store can carry artifacts between runs.
+    return make_setup(max_duration_s=bench_duration(), artifacts=store)
+
+
+def test_content_prep_cold_vs_warm(benchmark, tmp_path):
+    cache_dir = tmp_path / "artifact-cache"
+
+    cold_setup = _fresh_setup(ArtifactStore(cache_dir))
+    t0 = time.perf_counter()
+    cold_setup.prepare()
+    cold_s = time.perf_counter() - t0
+    assert cold_setup.artifacts.stats.total_hits == 0
+
+    warm_setup = _fresh_setup(ArtifactStore(cache_dir))
+    run_once(benchmark, warm_setup.prepare)
+    warm_s = benchmark.stats["mean"]
+    assert warm_setup.artifacts.stats.total_misses == 0
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    benchmark.extra_info["cold_s"] = cold_s
+    benchmark.extra_info["warm_s"] = warm_s
+    benchmark.extra_info["warm_speedup"] = speedup
+    benchmark.extra_info["store_bytes"] = warm_setup.artifacts.size_bytes()
+    assert speedup >= 3.0, (
+        f"warm content prep only {speedup:.1f}x faster than cold"
+        f" ({warm_s:.2f}s vs {cold_s:.2f}s)"
+    )
+
+
+def test_content_prep_parallel_cold(benchmark, tmp_path):
+    """Cold construction fanned across videos on the process pool."""
+    setup = _fresh_setup(ArtifactStore(tmp_path / "parallel-cache"))
+    run_once(benchmark, setup.prepare, workers=2)
+    assert setup.artifacts.stats.total_hits == 0
+    benchmark.extra_info["videos"] = len(setup.videos)

@@ -19,6 +19,8 @@ import argparse
 import sys
 
 from .experiments import (
+    ArtifactStore,
+    default_cache_dir,
     make_setup,
     print_lines,
     run_comparison,
@@ -82,7 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write the report to this file (report command)",
     )
+    parser.add_argument(
+        "--artifact-cache", metavar="DIR", default=None,
+        help="directory of the content-prep artifact cache (default: "
+             f"{default_cache_dir()}; env REPRO_ARTIFACT_CACHE overrides). "
+             "Warm runs skip manifest/Ptile/Ftile construction; results "
+             "are identical either way",
+    )
+    parser.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="disable the artifact cache and rebuild all content-prep "
+             "artifacts from scratch",
+    )
     return parser
+
+
+def _artifact_store(args: argparse.Namespace) -> ArtifactStore | None:
+    if args.no_artifact_cache:
+        return None
+    return ArtifactStore(args.artifact_cache)
 
 
 def _run_one(name: str, args: argparse.Namespace) -> None:
@@ -104,13 +124,15 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
 
         print_lines(run_fig6().report())
     elif name == "fig7":
-        setup = make_setup(max_duration_s=args.duration, seed=args.seed)
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           artifacts=_artifact_store(args))
         print_lines(run_fig7(setup).report())
     elif name == "fig8":
         print_lines(run_fig8(segments_per_video=60).report())
     elif name in ("fig9", "fig11"):
         device = get_device(args.device)
-        setup = make_setup(max_duration_s=args.duration, seed=args.seed)
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           artifacts=_artifact_store(args))
         results = run_comparison(setup, device, users_per_video=args.users,
                                  workers=args.workers)
         if name == "fig9":
@@ -118,7 +140,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         else:
             print_lines(summarize_qoe(results).report())
     elif name == "fig10":
-        setup = make_setup(max_duration_s=args.duration, seed=args.seed)
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           artifacts=_artifact_store(args))
         for device_name in ("nexus5x", "galaxys20"):
             device = get_device(device_name)
             comparison = run_fig9(setup, device, users_per_video=args.users,
@@ -136,7 +159,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         )
 
         setup = _make_setup(max_duration_s=args.duration, seed=args.seed,
-                            video_ids=(5, 8))
+                            video_ids=(5, 8),
+                            artifacts=_artifact_store(args))
         sweeps = {
             "MPC horizon": sweep_mpc_horizon(
                 setup, users=args.users, workers=args.workers
@@ -168,6 +192,7 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             device=args.device,
             seed=args.seed,
             workers=args.workers,
+            artifacts=_artifact_store(args),
         )
         text = generate_report(report_config, path=args.output)
         if args.output:

@@ -9,6 +9,13 @@ from .ablations import (
     sweep_qoe_tolerance,
     sweep_viewport_predictor,
 )
+from .artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactStats,
+    ArtifactStore,
+    content_digest,
+    default_cache_dir,
+)
 from .analysis import (
     BootstrapCI,
     PairedComparison,
@@ -60,6 +67,11 @@ __all__ = [
     "bootstrap_ci",
     "compare_schemes",
     "paired_comparison",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactStats",
+    "ArtifactStore",
+    "content_digest",
+    "default_cache_dir",
     "Fig2Result",
     "run_fig2",
     "ReportConfig",

@@ -1,0 +1,345 @@
+"""Disk-backed content-preparation artifact store.
+
+The paper's content-preparation pipeline (Sec. IV-A, Alg. 1) is pure
+preprocessing over historical head traces: for a given video, tile grid,
+clustering parameters, and training-trace set, the resulting
+:class:`~repro.video.segments.VideoManifest`,
+:class:`~repro.ptile.construction.SegmentPtiles`, and
+:class:`~repro.streaming.ftile.FtilePartition` objects are a
+deterministic function of their inputs.  Rebuilding them on every
+``repro-360`` invocation wastes minutes of Algorithm 1 clustering that
+could be a single deserialization.
+
+:class:`ArtifactStore` caches those objects on disk, keyed by a SHA-256
+**content digest** of everything that can change the result:
+
+* the video's metadata and per-segment SI/TI features,
+* the encoder model (grid geometry, rate law parameters, noise seed),
+* the tile-grid geometry,
+* the resolved Ptile clustering parameters (δ, σ, ``min_users``, FoV),
+* a digest of the training head traces (user ids + raw samples),
+* the artifact schema version and package version (code version).
+
+Keys are *content* hashes, not config names, so any change to the
+inputs — a different δ/σ, a truncated video, a different train/test
+split seed — lands in a different cache slot and a stale hit is
+impossible.  Values are pickled with an atomic write (temp file +
+``os.replace``), so concurrent writers at worst duplicate work, and a
+corrupt or truncated file is treated as a miss and rebuilt.
+
+The store is wired into :class:`~repro.experiments.setup.ExperimentSetup`
+(see ``ExperimentSetup.prepare``); the CLI enables it by default under
+``~/.cache/repro-360`` (``--artifact-cache DIR`` / ``--no-artifact-cache``
+to relocate or disable, ``REPRO_ARTIFACT_CACHE`` as the env override).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..geometry.tiling import TileGrid
+from ..ptile.construction import PtileConfig
+from ..traces.head_movement import HeadTrace
+from ..video.content import Video
+from ..video.encoder import EncoderModel
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactStats",
+    "ArtifactStore",
+    "content_digest",
+    "default_cache_dir",
+    "encoder_fingerprint",
+    "grid_fingerprint",
+    "manifest_key",
+    "ptiles_key",
+    "ftiles_key",
+    "traces_fingerprint",
+    "video_fingerprint",
+]
+
+ARTIFACT_SCHEMA_VERSION = 1
+"""Bumped whenever the on-disk layout or the key composition changes."""
+
+ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_ARTIFACT_CACHE``, else ``$XDG_CACHE_HOME/repro-360``,
+    else ``~/.cache/repro-360``."""
+    env = os.environ.get("REPRO_ARTIFACT_CACHE")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-360"
+
+
+# ----------------------------------------------------------------------
+# Content digests.  Every value is encoded with a type tag plus a length
+# where ambiguous, so distinct structures can never collide byte-wise
+# ("ab","c" vs "a","bc"), and no process-local hash() is involved — the
+# digest is stable across processes, platforms, and Python versions.
+# ----------------------------------------------------------------------
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"b1" if obj else b"b0")
+    elif isinstance(obj, (int, np.integer)):
+        raw = str(int(obj)).encode("ascii")
+        h.update(b"i" + struct.pack("<I", len(raw)) + raw)
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"f" + struct.pack("<d", float(obj)))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"s" + struct.pack("<I", len(raw)) + raw)
+    elif isinstance(obj, bytes):
+        h.update(b"y" + struct.pack("<I", len(obj)) + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        meta = f"{arr.dtype.str}{arr.shape}".encode("ascii")
+        h.update(b"a" + struct.pack("<I", len(meta)) + meta + arr.tobytes())
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"t" + struct.pack("<I", len(obj)))
+        for part in obj:
+            _update(h, part)
+    elif isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        h.update(b"d" + struct.pack("<I", len(items)))
+        for key, value in items:
+            _update(h, key)
+            _update(h, value)
+    else:
+        raise TypeError(
+            f"cannot digest {type(obj).__name__}; pass a fingerprint of "
+            "primitives/arrays instead"
+        )
+
+
+def content_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of a nested structure of primitives/arrays."""
+    h = hashlib.sha256()
+    _update(h, parts)
+    return h.hexdigest()
+
+
+def video_fingerprint(video: Video) -> tuple:
+    """Everything about a video that content preparation depends on."""
+    meta = video.meta
+    return (
+        "video",
+        meta.video_id,
+        meta.title,
+        meta.duration_s,
+        meta.fps,
+        meta.width_px,
+        meta.height_px,
+        meta.behavior,
+        np.array([s.si for s in video.segments]),
+        np.array([s.ti for s in video.segments]),
+    )
+
+
+def encoder_fingerprint(encoder: EncoderModel) -> tuple:
+    return (
+        "encoder",
+        grid_fingerprint(encoder.grid),
+        encoder.segment_seconds,
+        encoder.ref_bitrate_mbps,
+        encoder.noise_sigma,
+        encoder.seed,
+    )
+
+
+def grid_fingerprint(grid: TileGrid) -> tuple:
+    return ("grid", grid.rows, grid.cols)
+
+
+def traces_fingerprint(traces: Sequence[HeadTrace]) -> tuple:
+    """Digest material for a training-trace set (order-sensitive)."""
+    return tuple(
+        (
+            trace.user_id,
+            trace.video_id,
+            trace.timestamps,
+            trace.yaw_unwrapped,
+            trace.pitch,
+        )
+        for trace in traces
+    )
+
+
+def _versioned(kind: str, *parts: Any) -> str:
+    from .. import __version__
+
+    return content_digest(ARTIFACT_SCHEMA_VERSION, __version__, kind, *parts)
+
+
+def manifest_key(video: Video, encoder: EncoderModel) -> str:
+    return _versioned(
+        "manifest", video_fingerprint(video), encoder_fingerprint(encoder)
+    )
+
+
+def ptiles_key(
+    video: Video,
+    train_traces: Sequence[HeadTrace],
+    grid: TileGrid,
+    config: PtileConfig,
+) -> str:
+    return _versioned(
+        "ptiles",
+        video_fingerprint(video),
+        grid_fingerprint(grid),
+        config.fingerprint(grid),
+        traces_fingerprint(train_traces),
+    )
+
+
+def ftiles_key(
+    video: Video,
+    train_traces: Sequence[HeadTrace],
+    segment_seconds: float = 1.0,
+    n_tiles: int = 10,
+) -> str:
+    return _versioned(
+        "ftiles",
+        video_fingerprint(video),
+        segment_seconds,
+        n_tiles,
+        traces_fingerprint(train_traces),
+    )
+
+
+# ----------------------------------------------------------------------
+# The store itself.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ArtifactStats:
+    """Per-kind hit/miss/write counters for one store instance."""
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+    writes: dict[str, int] = field(default_factory=dict)
+
+    def record(self, counter: dict[str, int], kind: str) -> None:
+        counter[kind] = counter.get(kind, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def report(self) -> str:
+        parts = []
+        for kind in ARTIFACT_KINDS:
+            parts.append(
+                f"{kind}: {self.hits.get(kind, 0)} hit(s),"
+                f" {self.misses.get(kind, 0)} miss(es),"
+                f" {self.writes.get(kind, 0)} write(s)"
+            )
+        return "; ".join(parts)
+
+
+class ArtifactStore:
+    """Disk-backed, content-hash-keyed cache of content-prep artifacts.
+
+    ``root=None`` resolves to :func:`default_cache_dir`.  The directory
+    is created lazily on the first write, so constructing a store never
+    touches the filesystem.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = ArtifactStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore(root={str(self.root)!r})"
+
+    def path_for(self, kind: str, digest: str) -> Path:
+        if kind not in ARTIFACT_KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        return self.root / kind / f"{digest}.pkl"
+
+    def get(self, kind: str, digest: str) -> Any | None:
+        """The stored object, or ``None`` on miss/corruption."""
+        path = self.path_for(kind, digest)
+        try:
+            with open(path, "rb") as fh:
+                obj = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.record(self.stats.misses, kind)
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, MemoryError):
+            # Truncated/corrupt/stale-class pickle: drop it and rebuild.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.record(self.stats.misses, kind)
+            return None
+        self.stats.record(self.stats.hits, kind)
+        return obj
+
+    def put(self, kind: str, digest: str, obj: Any) -> Path:
+        """Atomically persist an object (last writer wins)."""
+        path = self.path_for(kind, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{digest}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        self.stats.record(self.stats.writes, kind)
+        return path
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns the number removed."""
+        removed = 0
+        for kind in ARTIFACT_KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing deleters
+                    pass
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total bytes currently stored (best effort)."""
+        total = 0
+        for kind in ARTIFACT_KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                except OSError:  # pragma: no cover - racing deleters
+                    pass
+        return total

@@ -13,6 +13,7 @@ from pathlib import Path
 
 from ..power.models import PIXEL_3, get_device
 from ..viz.ascii import bar_chart, cdf_plot
+from .artifacts import ArtifactStore
 from .fig2 import run_fig2
 from .fig5 import run_fig5
 from .fig7 import run_fig7
@@ -35,6 +36,7 @@ class ReportConfig:
     seed: int = 2017
     video_ids: tuple[int, ...] | None = None  # None = the full catalog
     workers: int | None = 1  # session-sweep processes; 0 = auto-detect
+    artifacts: ArtifactStore | None = None  # content-prep disk cache
 
 
 def generate_report(
@@ -81,6 +83,7 @@ def generate_report(
         max_duration_s=config.max_duration_s,
         seed=config.seed,
         video_ids=config.video_ids,
+        artifacts=config.artifacts,
     )
 
     emit("## Fig. 5 — switching speed", "")

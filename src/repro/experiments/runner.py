@@ -96,6 +96,35 @@ class SweepContext:
     ftiles: dict[int, list[FtilePartition]] = field(default_factory=dict)
     config: SessionConfig = field(default_factory=SessionConfig)
 
+    def slice(self, video_ids) -> "SweepContext":
+        """A context restricted to the given videos.
+
+        The per-video dicts (manifests, Ptiles, Ftiles, head traces)
+        dominate the pickled payload shipped to each worker; slicing to
+        the videos a job batch actually references keeps the per-worker
+        transfer proportional to the sweep, not the catalog.  Returns
+        ``self`` unchanged when nothing would be dropped.
+        """
+        wanted = set(video_ids)
+        keys = (
+            set(self.manifests) | set(self.head_traces)
+            | set(self.ptiles) | set(self.ftiles)
+        )
+        if keys <= wanted:
+            return self
+        return SweepContext(
+            schemes=self.schemes,
+            device=self.device,
+            networks=self.networks,
+            manifests={k: v for k, v in self.manifests.items() if k in wanted},
+            head_traces={
+                k: v for k, v in self.head_traces.items() if k in wanted
+            },
+            ptiles={k: v for k, v in self.ptiles.items() if k in wanted},
+            ftiles={k: v for k, v in self.ftiles.items() if k in wanted},
+            config=self.config,
+        )
+
     def run_job(self, job: SessionJob) -> SessionResult:
         """Execute one job against this context (pure; any process)."""
         try:
@@ -362,6 +391,9 @@ def run_session_jobs(
     ``None`` and described in ``SweepRun.failures``.
     """
     jobs = tuple(jobs)
+    # Ship only the videos these jobs reference; each worker's payload
+    # is then the jobs' slice of the context, not the whole catalog.
+    context = context.slice({job.video_id for job in jobs})
     run = _execute_sweep(
         context,
         context.run_job,

@@ -33,7 +33,8 @@ from ..traces.network import NetworkTrace, paper_traces
 from ..video.content import Video
 from ..video.encoder import EncoderModel
 from ..video.segments import VideoManifest
-from .runner import SessionJob, SweepContext, run_session_jobs
+from .artifacts import ArtifactStore, ftiles_key, manifest_key, ptiles_key
+from .runner import SessionJob, SweepContext, parallel_map, run_session_jobs
 
 __all__ = ["ExperimentSetup", "make_setup", "SCHEME_ORDER", "make_schemes",
            "build_sweep", "run_comparison"]
@@ -44,7 +45,15 @@ SCHEME_ORDER = ("ctile", "ftile", "nontile", "ptile", "ours")
 
 @dataclass
 class ExperimentSetup:
-    """Shared inputs for all evaluation experiments."""
+    """Shared inputs for all evaluation experiments.
+
+    When ``artifacts`` is set, manifests, Ptiles, and Ftile partitions
+    are loaded from / persisted to the disk-backed
+    :class:`~repro.experiments.artifacts.ArtifactStore` instead of being
+    rebuilt; :meth:`prepare` additionally fans cold Ptile/Ftile
+    construction out across a process pool.  Results are byte-identical
+    with the store on or off — the store only skips recomputation.
+    """
 
     dataset: EvaluationDataset
     encoder: EncoderModel
@@ -53,6 +62,7 @@ class ExperimentSetup:
     grid: TileGrid = DEFAULT_GRID
     ptile_config: PtileConfig = field(default_factory=PtileConfig)
     session_config: SessionConfig = field(default_factory=SessionConfig)
+    artifacts: ArtifactStore | None = None
     _manifests: dict[int, VideoManifest] = field(default_factory=dict, repr=False)
     _ptiles: dict[int, list[SegmentPtiles]] = field(default_factory=dict, repr=False)
     _ftiles: dict[int, list[FtilePartition]] = field(default_factory=dict, repr=False)
@@ -63,31 +73,136 @@ class ExperimentSetup:
 
     def manifest(self, video_id: int) -> VideoManifest:
         if video_id not in self._manifests:
-            self._manifests[video_id] = VideoManifest(
-                self.dataset.video(video_id), self.encoder
-            )
+            video = self.dataset.video(video_id)
+            built = None
+            key = None
+            if self.artifacts is not None:
+                key = manifest_key(video, self.encoder)
+                built = self.artifacts.get("manifest", key)
+            if built is None:
+                built = VideoManifest(video, self.encoder)
+                if self.artifacts is not None:
+                    self.artifacts.put("manifest", key, built)
+            self._manifests[video_id] = built
         return self._manifests[video_id]
 
     def ptiles(self, video_id: int) -> list[SegmentPtiles]:
         if video_id not in self._ptiles:
-            self._ptiles[video_id] = build_video_ptiles(
-                self.dataset.video(video_id),
-                self.dataset.train_traces(video_id),
-                self.grid,
-                self.ptile_config,
-            )
+            self.prepare((video_id,), manifests=False, ftiles=False)
         return self._ptiles[video_id]
 
     def ftiles(self, video_id: int) -> list[FtilePartition]:
         if video_id not in self._ftiles:
-            self._ftiles[video_id] = build_video_ftiles(
-                self.dataset.video(video_id),
-                self.dataset.train_traces(video_id),
-            )
+            self.prepare((video_id,), manifests=False, ptiles=False)
         return self._ftiles[video_id]
+
+    def prepare(
+        self,
+        video_ids: tuple[int, ...] | None = None,
+        *,
+        workers: int | None = 1,
+        manifests: bool = True,
+        ptiles: bool = True,
+        ftiles: bool = True,
+    ) -> None:
+        """Build (or load from the artifact store) the content-prep
+        artifacts for a set of videos.
+
+        Warm artifacts deserialize from disk and skip construction
+        entirely; cold Ptile/Ftile construction (Algorithm 1 clustering
+        + cluster split + coverage, the expensive phase) fans out across
+        videos on a process pool when ``workers`` allows.  Construction
+        is a pure per-video function, so results are identical at any
+        worker count.
+        """
+        if video_ids is None:
+            video_ids = tuple(v.meta.video_id for v in self.videos)
+        if manifests:
+            for vid in video_ids:
+                self.manifest(vid)
+
+        todo: list[tuple[int, bool, bool]] = []
+        for vid in video_ids:
+            need_pt = ptiles and vid not in self._ptiles
+            need_ft = ftiles and vid not in self._ftiles
+            if self.artifacts is not None:
+                video = self.dataset.video(vid)
+                train = self.dataset.train_traces(vid)
+                if need_pt:
+                    got = self.artifacts.get(
+                        "ptiles",
+                        ptiles_key(video, train, self.grid, self.ptile_config),
+                    )
+                    if got is not None:
+                        self._ptiles[vid] = got
+                        need_pt = False
+                if need_ft:
+                    got = self.artifacts.get(
+                        "ftiles", ftiles_key(video, train)
+                    )
+                    if got is not None:
+                        self._ftiles[vid] = got
+                        need_ft = False
+            if need_pt or need_ft:
+                todo.append((vid, need_pt, need_ft))
+        if not todo:
+            return
+
+        items = [
+            (
+                self.dataset.video(vid),
+                self.dataset.train_traces(vid),
+                self.grid,
+                self.ptile_config,
+                need_pt,
+                need_ft,
+            )
+            for vid, need_pt, need_ft in todo
+        ]
+        if len(items) > 1 and workers != 1:
+            results = parallel_map(
+                _prepare_video_task, items, workers=workers
+            ).results
+        else:
+            results = [_prepare_video_task(item) for item in items]
+        for (vid, need_pt, need_ft), (built_pt, built_ft) in zip(todo, results):
+            if need_pt:
+                self._ptiles[vid] = built_pt
+                if self.artifacts is not None:
+                    video = self.dataset.video(vid)
+                    train = self.dataset.train_traces(vid)
+                    self.artifacts.put(
+                        "ptiles",
+                        ptiles_key(video, train, self.grid, self.ptile_config),
+                        built_pt,
+                    )
+            if need_ft:
+                self._ftiles[vid] = built_ft
+                if self.artifacts is not None:
+                    video = self.dataset.video(vid)
+                    train = self.dataset.train_traces(vid)
+                    self.artifacts.put(
+                        "ftiles", ftiles_key(video, train), built_ft
+                    )
 
     def traces(self) -> dict[str, NetworkTrace]:
         return {"trace1": self.trace1, "trace2": self.trace2}
+
+
+def _prepare_video_task(
+    item: tuple,
+) -> tuple[list[SegmentPtiles] | None, list[FtilePartition] | None]:
+    """Build one video's missing content-prep artifacts (any process)."""
+    video, train_traces, grid, config, need_ptiles, need_ftiles = item
+    built_ptiles = (
+        build_video_ptiles(video, train_traces, grid, config)
+        if need_ptiles
+        else None
+    )
+    built_ftiles = (
+        build_video_ftiles(video, train_traces) if need_ftiles else None
+    )
+    return built_ptiles, built_ftiles
 
 
 def make_setup(
@@ -96,8 +211,14 @@ def make_setup(
     n_train: int = 40,
     seed: int = 2017,
     video_ids: tuple[int, ...] | None = None,
+    artifacts: ArtifactStore | None = None,
 ) -> ExperimentSetup:
-    """Build the standard experiment setup."""
+    """Build the standard experiment setup.
+
+    ``artifacts`` enables the disk-backed content-prep cache (see
+    :mod:`repro.experiments.artifacts`); the default keeps it off so
+    library callers opt in explicitly (the CLI opts in for them).
+    """
     dataset = build_dataset(
         n_users=n_users,
         n_train=n_train,
@@ -111,6 +232,7 @@ def make_setup(
         encoder=EncoderModel(),
         trace1=trace1,
         trace2=trace2,
+        artifacts=artifacts,
     )
 
 
@@ -131,17 +253,30 @@ def build_sweep(
     users_per_video: int | None = None,
     video_ids: tuple[int, ...] | None = None,
     scheme_names: tuple[str, ...] = SCHEME_ORDER,
+    workers: int | None = 1,
 ) -> tuple[SweepContext, list[SessionJob]]:
     """Build the Section V-C session matrix as (context, jobs).
 
     Jobs are ordered video -> trace -> scheme -> user, matching the
     historical serial loop so that results keep the same dict ordering.
+    ``video_ids=None`` sweeps the whole catalog; an explicit (possibly
+    empty) tuple sweeps exactly those videos.  ``workers`` fans cold
+    content preparation across videos (warm artifact-store runs skip
+    construction regardless).
     """
     schemes = make_schemes(device)
     unknown = set(scheme_names) - set(schemes)
     if unknown:
         raise KeyError(f"unknown schemes {sorted(unknown)}")
-    wanted = video_ids or tuple(v.meta.video_id for v in setup.videos)
+    known_videos = {v.meta.video_id for v in setup.videos}
+    if video_ids is None:
+        wanted = tuple(v.meta.video_id for v in setup.videos)
+    else:
+        wanted = tuple(video_ids)
+        unknown_videos = [v for v in wanted if v not in known_videos]
+        if unknown_videos:
+            raise KeyError(f"unknown video ids {sorted(set(unknown_videos))}")
+    setup.prepare(wanted, workers=workers)
 
     manifests: dict[int, VideoManifest] = {}
     ptiles: dict[int, list[SegmentPtiles]] = {}
@@ -198,10 +333,13 @@ def run_comparison(
     (energy, Pixel 3), Fig. 10 (other devices) and Fig. 11 (QoE).
 
     ``workers`` fans the sessions over a process pool (0 = auto-detect,
-    1 = serial); results are identical for any worker count.
+    1 = serial), and likewise fans out cold content preparation across
+    videos; results are identical for any worker count, and identical
+    with the artifact store on or off.
     """
     context, jobs = build_sweep(
-        setup, device, users_per_video, video_ids, scheme_names
+        setup, device, users_per_video, video_ids, scheme_names,
+        workers=workers,
     )
     run = run_session_jobs(
         context, jobs, workers=workers, chunk_size=chunk_size

@@ -51,6 +51,15 @@ class TileGrid:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"TileGrid(rows={self.rows}, cols={self.cols})"
 
+    def __getstate__(self) -> dict:
+        # The viewport-coverage memo is pure derived state and can grow
+        # to thousands of entries on a shared grid (DEFAULT_GRID is a
+        # process-wide singleton); serializing it would bloat worker
+        # payloads and disk artifacts for no benefit.
+        state = self.__dict__.copy()
+        state["_viewport_cache"] = {}
+        return state
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, TileGrid)

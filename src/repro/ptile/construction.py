@@ -55,6 +55,23 @@ class PtileConfig:
     def resolved_delta(self, grid: TileGrid) -> float:
         return self.delta if self.delta is not None else self.resolved_sigma(grid) / 4.0
 
+    def fingerprint(self, grid: TileGrid) -> tuple:
+        """Resolved construction parameters, for content-addressed caching.
+
+        Uses the *resolved* δ/σ so ``sigma=None`` and an explicit
+        ``sigma=grid.tile_width`` hash identically (they construct
+        identical Ptiles), while any parameter that changes the output
+        changes the fingerprint.
+        """
+        return (
+            "ptile-config",
+            self.resolved_sigma(grid),
+            self.resolved_delta(grid),
+            self.min_users,
+            self.fov_deg,
+            self.recursive_split,
+        )
+
 
 @dataclass(frozen=True)
 class Ptile:

@@ -50,7 +50,15 @@ class CacheStats:
 
 @dataclass
 class EdgeCache:
-    """Capacity-bounded object cache with LRU or LFU eviction."""
+    """Capacity-bounded object cache with LRU or LFU eviction.
+
+    LFU frequencies are tracked for *resident* objects only and dropped
+    on eviction (LFU with aging): a re-admitted object restarts its
+    count instead of inheriting request counts from a long-gone tenure,
+    and the frequency table stays bounded by the number of resident
+    objects no matter how long the request stream runs.  Never-stored
+    objects (larger than the whole cache) are not counted at all.
+    """
 
     capacity_mbit: float
     policy: str = "lru"
@@ -73,20 +81,38 @@ class EdgeCache:
 
         Misses fetch the object over the backhaul and insert it,
         evicting by policy until it fits (objects larger than the whole
-        cache are served but not stored).
+        cache are served but not stored).  A hit whose ``size_mbit``
+        differs from the stored size (a re-encoded object) updates the
+        stored size and the capacity accounting, evicting as needed; if
+        the new size no longer fits at all, the object is dropped and
+        the request counts as a miss.
         """
         if size_mbit < 0:
             raise ValueError("size must be non-negative")
-        self._frequency[key] = self._frequency.get(key, 0) + 1
         if key in self._objects:
+            stored = self._objects[key]
+            if stored != size_mbit:
+                # Stale size: re-admit at the new size so _used_mbit
+                # tracks reality instead of drifting.
+                self._used_mbit -= self._objects.pop(key)
+                if size_mbit > self.capacity_mbit:
+                    self._frequency.pop(key, None)
+                    return False
+                self._store(key, size_mbit)
+                return True
+            self._frequency[key] = self._frequency.get(key, 0) + 1
             self._objects.move_to_end(key)
             return True
         if size_mbit <= self.capacity_mbit:
-            while self._used_mbit + size_mbit > self.capacity_mbit:
-                self._evict()
-            self._objects[key] = size_mbit
-            self._used_mbit += size_mbit
+            self._store(key, size_mbit)
         return False
+
+    def _store(self, key, size_mbit: float) -> None:
+        while self._used_mbit + size_mbit > self.capacity_mbit:
+            self._evict()
+        self._objects[key] = size_mbit
+        self._used_mbit += size_mbit
+        self._frequency[key] = self._frequency.get(key, 0) + 1
 
     def _evict(self) -> None:
         if not self._objects:  # pragma: no cover - guarded by caller
@@ -97,6 +123,10 @@ class EdgeCache:
             key = min(self._objects, key=lambda k: self._frequency.get(k, 0))
             size = self._objects.pop(key)
         self._used_mbit -= size
+        # LFU aging: an evicted object's count dies with it, so the
+        # table never outgrows the resident set and a re-admission
+        # competes on its new tenure, not its ancient popularity.
+        self._frequency.pop(key, None)
 
 
 def simulate_cache(

@@ -55,6 +55,17 @@ class HeadTrace:
         # same per-segment statistics once per scheme and network trace.
         object.__setattr__(self, "_kinematics_cache", {})
 
+    def __getstate__(self) -> dict:
+        # The kinematics memo is pure derived state; exclude it so
+        # pickled traces (worker payloads, artifact keys) stay lean.
+        state = self.__dict__.copy()
+        state["_kinematics_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

@@ -44,6 +44,18 @@ class SegmentManifest:
     def __post_init__(self) -> None:
         object.__setattr__(self, "_size_cache", {})
 
+    def __getstate__(self) -> dict:
+        # Drop the (pure, rebuildable) size memo: a sweep-warmed cache
+        # holds thousands of entries per segment and would dominate the
+        # pickled payload shipped to workers or stored on disk.
+        state = self.__dict__.copy()
+        state["_size_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     @property
     def grid(self) -> TileGrid:
         return self.encoder.grid

@@ -5,6 +5,13 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def isolated_artifact_cache(tmp_path, monkeypatch):
+    """Keep the CLI's default-on artifact cache inside the test tmpdir."""
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path / "artifacts"))
+    return tmp_path / "artifacts"
+
+
 class TestParser:
     def test_experiment_choices(self):
         parser = build_parser()
@@ -25,6 +32,14 @@ class TestParser:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["fig99"])
+
+    def test_artifact_cache_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig9", "--artifact-cache", "/tmp/x"])
+        assert args.artifact_cache == "/tmp/x"
+        assert not args.no_artifact_cache
+        args = parser.parse_args(["fig9", "--no-artifact-cache"])
+        assert args.no_artifact_cache
 
 
 class TestMain:
@@ -51,10 +66,27 @@ class TestMain:
         assert main(["fig5", "--duration", "15"]) == 0
         assert "switching speed" in capsys.readouterr().out
 
-    def test_fig9_tiny(self, capsys):
+    def test_fig9_tiny(self, capsys, isolated_artifact_cache):
         assert main(["fig9", "--duration", "12", "--users", "1"]) == 0
         out = capsys.readouterr().out
         assert "normalized by Ctile" in out
+        # The default-on artifact cache populated the store...
+        assert list(isolated_artifact_cache.rglob("*.pkl"))
+        # ...and a warm rerun reproduces the same output.
+        assert main(["fig9", "--duration", "12", "--users", "1"]) == 0
+        assert capsys.readouterr().out == out
+
+    def test_fig9_no_artifact_cache(self, capsys, isolated_artifact_cache):
+        assert main(["fig9", "--duration", "12", "--users", "1",
+                     "--no-artifact-cache"]) == 0
+        assert "normalized by Ctile" in capsys.readouterr().out
+        assert not list(isolated_artifact_cache.rglob("*.pkl"))
+
+    def test_fig9_explicit_cache_dir(self, capsys, tmp_path):
+        cache = tmp_path / "explicit"
+        assert main(["fig9", "--duration", "12", "--users", "1",
+                     "--artifact-cache", str(cache)]) == 0
+        assert list(cache.rglob("*.pkl"))
 
     def test_fig6(self, capsys):
         assert main(["fig6"]) == 0

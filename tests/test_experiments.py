@@ -5,6 +5,7 @@ import pytest
 
 from repro.experiments import (
     PAPER_MEDIANS,
+    build_sweep,
     make_schemes,
     make_setup,
     run_comparison,
@@ -53,6 +54,20 @@ class TestSetup:
     def test_unknown_scheme_rejected(self, tiny_setup):
         with pytest.raises(KeyError):
             run_comparison(tiny_setup, PIXEL_3, scheme_names=("bogus",))
+
+    def test_empty_video_ids_means_no_videos(self, tiny_setup):
+        """Regression: `video_ids=()` used to silently expand to the
+        whole catalog through `video_ids or tuple(...)`."""
+        context, jobs = build_sweep(tiny_setup, PIXEL_3, video_ids=())
+        assert jobs == []
+        assert context.manifests == {}
+        assert run_comparison(tiny_setup, PIXEL_3, video_ids=()) == {}
+
+    def test_unknown_video_id_rejected_up_front(self, tiny_setup):
+        with pytest.raises(KeyError, match=r"\[3, 77\]"):
+            build_sweep(tiny_setup, PIXEL_3, video_ids=(2, 77, 3))
+        with pytest.raises(KeyError, match="unknown video ids"):
+            run_comparison(tiny_setup, PIXEL_3, video_ids=(99,))
 
 
 class TestComparisonMatrix:

@@ -114,6 +114,51 @@ class TestRunSessionJobs:
         assert any("FAILED" in line for line in run.report())
 
 
+class TestContextSlicing:
+    def test_slice_drops_unreferenced_videos(self, sweep_context,
+                                             manifest8, small_dataset):
+        import dataclasses
+
+        wide = dataclasses.replace(
+            sweep_context,
+            manifests={**sweep_context.manifests, 8: manifest8},
+            head_traces={
+                **sweep_context.head_traces,
+                8: tuple(small_dataset.test_traces(8)),
+            },
+        )
+        sliced = wide.slice({2})
+        assert set(sliced.manifests) == {2}
+        assert set(sliced.head_traces) == {2}
+        assert sliced.schemes is wide.schemes
+        assert sliced.config is wide.config
+
+    def test_slice_is_identity_when_nothing_drops(self, sweep_context):
+        assert sweep_context.slice({2}) is sweep_context
+        assert sweep_context.slice({2, 99}) is sweep_context
+
+    def test_sliced_context_runs_jobs_identically(self, sweep_context,
+                                                  manifest8, small_dataset,
+                                                  ptiles8):
+        import dataclasses
+
+        wide = dataclasses.replace(
+            sweep_context,
+            manifests={**sweep_context.manifests, 8: manifest8},
+            head_traces={
+                **sweep_context.head_traces,
+                8: tuple(small_dataset.test_traces(8)),
+            },
+            ptiles={**sweep_context.ptiles, 8: ptiles8},
+        )
+        jobs = make_jobs()
+        narrow = run_session_jobs(wide, jobs, workers=1)
+        full = run_session_jobs(sweep_context, jobs, workers=1)
+        assert [session_signature(r) for r in narrow.results] == [
+            session_signature(r) for r in full.results
+        ]
+
+
 class TestParallelMap:
     def test_preserves_order(self):
         run = parallel_map(abs, [-5, 3, -1, 0], workers=1)

@@ -54,6 +54,63 @@ class TestEdgeCache:
         with pytest.raises(ValueError):
             EdgeCache(capacity_mbit=1.0).request("a", -1.0)
 
+    @pytest.mark.parametrize("policy", ["lru", "lfu"])
+    def test_frequency_table_bounded_on_long_streams(self, policy):
+        """Regression: _frequency must not grow with the stream length.
+
+        It used to keep one entry per key ever requested — including
+        long-evicted keys and oversized objects that were never stored —
+        leaking memory over long request streams and skewing LFU toward
+        keys whose popularity came from an evicted tenure.
+        """
+        cache = EdgeCache(capacity_mbit=4.0, policy=policy)
+        for i in range(1000):  # stream far longer than capacity
+            cache.request(f"obj-{i}", 1.0)
+        cache.request("oversized", 9.0)  # served, never stored
+        assert len(cache._frequency) <= len(cache._objects)
+        assert "oversized" not in cache._frequency
+        assert cache.used_mbit <= 4.0
+
+    def test_lfu_eviction_ignores_evicted_tenure(self):
+        """An evicted key re-enters with a fresh count, not its old one."""
+        cache = EdgeCache(capacity_mbit=2.0, policy="lfu")
+        for _ in range(5):
+            cache.request("hot", 1.0)
+        cache.request("filler", 1.0)
+        cache.request("evictor", 1.0)  # evicts filler (freq 1 < 5)
+        assert not cache.request("filler", 1.0)  # re-admitted (evictor out)
+        # filler's count restarts at 1 for the new tenure; before the
+        # fix it would have carried over to 2.
+        assert cache._frequency["filler"] == 1
+
+    def test_hit_with_changed_size_updates_accounting(self):
+        """Regression: a resident key re-requested at a new size must
+        update the stored size and _used_mbit (they used to go stale)."""
+        cache = EdgeCache(capacity_mbit=10.0)
+        assert not cache.request("a", 2.0)
+        assert cache.request("a", 5.0)  # still a hit, size updated
+        assert cache.used_mbit == pytest.approx(5.0)
+        assert cache._objects["a"] == pytest.approx(5.0)
+        assert cache.request("a", 1.0)  # shrink updates too
+        assert cache.used_mbit == pytest.approx(1.0)
+
+    def test_hit_with_grown_size_evicts_to_fit(self):
+        cache = EdgeCache(capacity_mbit=10.0, policy="lru")
+        cache.request("a", 4.0)
+        cache.request("b", 4.0)
+        assert cache.request("a", 8.0)  # grows; must evict b to fit
+        assert cache.used_mbit == pytest.approx(8.0)
+        assert not cache.request("b", 4.0)  # b was evicted
+        assert cache.used_mbit <= 10.0
+
+    def test_hit_with_oversized_new_size_drops_object(self):
+        cache = EdgeCache(capacity_mbit=10.0)
+        cache.request("a", 2.0)
+        assert not cache.request("a", 11.0)  # no longer storable: miss
+        assert cache.used_mbit == 0.0
+        assert "a" not in cache._objects
+        assert "a" not in cache._frequency
+
 
 class TestSimulateCache:
     def test_stats_accounting(self):
