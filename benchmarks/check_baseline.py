@@ -59,6 +59,12 @@ def extract_metrics(report: dict) -> dict[str, float]:
         "warm_prep_speedup": _extra(
             report, "test_content_prep_cold_vs_warm", "warm_speedup"
         ),
+        "warm_results_speedup": _extra(
+            report, "test_results_cache_cold_vs_warm", "warm_speedup"
+        ),
+        "planner_plans_per_second": _extra(
+            report, "test_planner_throughput", "plans_per_second"
+        ),
         "sweep_serial_sessions_per_second": _extra(
             report, "test_sweep_serial_throughput", "sessions_per_second"
         ),

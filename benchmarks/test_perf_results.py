@@ -1,0 +1,58 @@
+"""Session-results cache benchmarks.
+
+Quantifies the PR-level optimization: with a results store, a warm
+re-run of an identical sweep deserializes every session instead of
+re-simulating it.  The acceptance bar is a >= 5x speedup of the full
+sweep (content prep + sessions) on warm artifact + results stores, with
+byte-identical aggregates (asserted in ``tests/test_results_cache.py``);
+the measured wall times and speedup land in ``extra_info`` for the CI
+regression gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ArtifactStore, make_setup, run_comparison
+from repro.power import PIXEL_3
+
+from conftest import bench_duration, bench_users, run_once
+
+
+def _fresh_setup(cache_dir):
+    # A fresh setup and store each time: in-memory memos start empty, so
+    # only the disk stores can carry anything between runs.  Setup
+    # construction (synthesizing the dataset) happens outside the timed
+    # region — the cache accelerates the sweep, not input generation.
+    store = ArtifactStore(cache_dir)
+    return make_setup(max_duration_s=bench_duration(), artifacts=store), store
+
+
+def _sweep(setup, store):
+    return run_comparison(
+        setup, PIXEL_3, users_per_video=bench_users(), results_store=store
+    )
+
+
+def test_results_cache_cold_vs_warm(benchmark, tmp_path):
+    cache_dir = tmp_path / "results-cache"
+
+    cold_setup, cold_store = _fresh_setup(cache_dir)
+    t0 = time.perf_counter()
+    cold = _sweep(cold_setup, cold_store)
+    cold_s = time.perf_counter() - t0
+
+    warm_setup, warm_store = _fresh_setup(cache_dir)
+    warm = run_once(benchmark, _sweep, warm_setup, warm_store)
+    warm_s = benchmark.stats["mean"]
+    assert sorted(warm) == sorted(cold)
+    assert warm_store.stats.misses.get("results") is None
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    benchmark.extra_info["cold_s"] = cold_s
+    benchmark.extra_info["warm_s"] = warm_s
+    benchmark.extra_info["warm_speedup"] = speedup
+    assert speedup >= 5.0, (
+        f"warm full sweep only {speedup:.1f}x faster than cold"
+        f" ({warm_s:.2f}s vs {cold_s:.2f}s)"
+    )

@@ -96,10 +96,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the artifact cache and rebuild all content-prep "
              "artifacts from scratch",
     )
+    parser.add_argument(
+        "--results-cache", metavar="DIR", default=None,
+        help="directory of the session-results cache (default: shares "
+             "the artifact-cache directory). Warm runs of an identical "
+             "sweep deserialize stored results instead of re-simulating; "
+             "aggregates are identical either way",
+    )
+    parser.add_argument(
+        "--no-results-cache", action="store_true",
+        help="disable the session-results cache and re-simulate every "
+             "session",
+    )
     return parser
 
 
 def _artifact_store(args: argparse.Namespace) -> ArtifactStore | None:
+    if args.no_artifact_cache:
+        return None
+    return ArtifactStore(args.artifact_cache)
+
+
+def _results_store(args: argparse.Namespace) -> ArtifactStore | None:
+    if args.no_results_cache:
+        return None
+    if args.results_cache is not None:
+        return ArtifactStore(args.results_cache)
+    # By default the results cache shares the artifact-cache directory,
+    # so disabling that disables this too unless a directory is given.
     if args.no_artifact_cache:
         return None
     return ArtifactStore(args.artifact_cache)
@@ -134,7 +158,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         setup = make_setup(max_duration_s=args.duration, seed=args.seed,
                            artifacts=_artifact_store(args))
         results = run_comparison(setup, device, users_per_video=args.users,
-                                 workers=args.workers)
+                                 workers=args.workers,
+                                 results_store=_results_store(args))
         if name == "fig9":
             print_lines(summarize_energy(results, device.name).report())
         else:
@@ -145,13 +170,15 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         for device_name in ("nexus5x", "galaxys20"):
             device = get_device(device_name)
             comparison = run_fig9(setup, device, users_per_video=args.users,
-                                  workers=args.workers)
+                                  workers=args.workers,
+                                  results_store=_results_store(args))
             print_lines(comparison.report())
     elif name == "ablation":
         from .experiments import (
             make_setup as _make_setup,
             sweep_bandwidth_estimator,
             sweep_clustering_sigma,
+            sweep_edge_cache,
             sweep_frame_rate_ladder,
             sweep_mpc_horizon,
             sweep_qoe_tolerance,
@@ -174,7 +201,12 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             "bandwidth estimator": sweep_bandwidth_estimator(
                 setup, users=args.users, workers=args.workers
             ),
-            "clustering sigma": sweep_clustering_sigma(setup),
+            "clustering sigma": sweep_clustering_sigma(
+                setup, workers=args.workers
+            ),
+            "edge cache": sweep_edge_cache(
+                setup, users=args.users, workers=args.workers
+            ),
             "viewport predictor": sweep_viewport_predictor(
                 setup, users=args.users, workers=args.workers
             ),
@@ -193,6 +225,7 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             seed=args.seed,
             workers=args.workers,
             artifacts=_artifact_store(args),
+            results=_results_store(args),
         )
         text = generate_report(report_config, path=args.output)
         if args.output:

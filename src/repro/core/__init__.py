@@ -3,7 +3,8 @@
 from .config import StreamingConfig
 from .controller import OursScheme
 from .offline import OfflinePlan, solve_offline
-from .optimizer import EnergyQoEMpc, MpcConfig, MpcDecision, MpcSegment
+from .optimizer import EnergyQoEMpc, MpcConfig, MpcDecision, MpcSegment, MpcWindow
+from .plan_tables import PlanTables
 
 __all__ = [
     "StreamingConfig",
@@ -14,4 +15,6 @@ __all__ = [
     "MpcConfig",
     "MpcDecision",
     "MpcSegment",
+    "MpcWindow",
+    "PlanTables",
 ]

@@ -4,36 +4,31 @@ For each segment the client:
 
 1. predicts the viewing area (ridge regression, done by the session
    loop) and checks whether a Ptile covers it;
-2. if so, builds the lookahead window — per-future-segment download
-   sizes for every (bitrate, frame rate) version and their predicted
-   QoE — and runs the MPC dynamic program to pick the energy-minimal
-   version within the 5 % QoE tolerance;
+2. if so, slices the lookahead window out of the session's precomputed
+   :class:`~repro.core.plan_tables.PlanTables` — per-future-segment
+   download sizes for every (bitrate, frame rate) version and their
+   predicted QoE — and runs the MPC dynamic program to pick the
+   energy-minimal version within the 5 % QoE tolerance;
 3. otherwise falls back to conventional tiles at the best possible
    quality (Ctile behaviour, including its multi-decoder energy cost).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass, field, replace
 
 from ..power.energy import EnergyModel
 from ..power.models import DevicePowerModel, TilingScheme
-from ..ptile.construction import Ptile, SegmentPtiles, partition_remainder
-from ..video.encoder import QUALITY_LEVELS
-from ..qoe.framerate import alpha_from_behavior, frame_rate_factor
 from ..qoe.quality import QualityModel
 from ..streaming.schemes import (
     CtileScheme,
     DownloadPlan,
-    LOWEST_QUALITY,
     PlanContext,
     split_wrapped_rect,
 )
 from ..video.framerate import DEFAULT_LADDER, FrameRateLadder
-from ..video.segments import SegmentManifest
-from .optimizer import EnergyQoEMpc, MpcConfig, MpcSegment
+from .optimizer import EnergyQoEMpc, MpcConfig
+from .plan_tables import PlanTables
 
 __all__ = ["OursScheme"]
 
@@ -47,17 +42,22 @@ class OursScheme:
 
     * ``_mpc_cache`` — one :class:`EnergyQoEMpc` (and its
       :class:`EnergyModel`) per segment duration, so the controller is
-      built once per session configuration instead of once per segment;
-    * ``_version_cache`` — per (video, segment, Ptile geometry, fps,
-      ladder) download-size matrices and Q_o columns.  The H-segment
-      lookahead window slides one segment per plan, so without the cache
-      each (segment, Ptile) matrix is rebuilt up to H times per session
-      — and once per user on top of that, although every session over
-      the same video shares identical manifests and Ptiles.
+      built once per session configuration instead of once per segment.
+      The :class:`MpcConfig` handed to it has its ``segment_seconds``
+      derived from the session context, keeping the DP buffer dynamics
+      consistent with the actual segment duration;
+    * ``_tables_cache`` — one :class:`PlanTables` per (video, ladder,
+      fps): stacked (S, V, F) size and (S, V) Q_o tensors covering every
+      segment, built once and sliced by each ``plan()``.  The H-segment
+      lookahead window slides one segment per plan, so without the
+      batched tables each (segment, Ptile) matrix would be rebuilt up to
+      H times per session — and once per user on top of that, although
+      every session over the same video shares identical manifests and
+      Ptiles.
 
-    Only the switching-speed-dependent frame-rate factor (Eq. 4) is
-    recomputed per plan; cached entries are never mutated, so cached and
-    uncached planning are bit-identical.
+    Only the Ptile match and the switching-speed-dependent frame-rate
+    factor (Eq. 4) are recomputed per plan; cached tensors are never
+    mutated, so batched and per-call planning are bit-identical.
     """
 
     device: DevicePowerModel
@@ -69,7 +69,7 @@ class OursScheme:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "_mpc_cache", {})
-        object.__setattr__(self, "_version_cache", {})
+        object.__setattr__(self, "_tables_cache", {})
 
     def plan(self, ctx: PlanContext) -> DownloadPlan:
         if ctx.segment_ptiles is None:
@@ -78,11 +78,13 @@ class OursScheme:
         if ptile is None:
             return self._fallback_plan(ctx)
 
-        segments = self._lookahead(ctx, ptile)
+        window = self._plan_tables(ctx).window(ctx, ptile)
         mpc = self._mpc(ctx.segment_seconds)
-        decision = mpc.choose(segments, ctx.bandwidth_mbps, ctx.buffer_s)
+        decision = mpc.choose(window, ctx.bandwidth_mbps, ctx.buffer_s)
         size = float(
-            segments[0].sizes_mbit[decision.quality - 1, decision.frame_rate_index - 1]
+            window.sizes_mbit[
+                0, decision.quality - 1, decision.frame_rate_index - 1
+            ]
         )
         return DownloadPlan(
             scheme_name=self.name,
@@ -99,120 +101,58 @@ class OursScheme:
     def _mpc(self, segment_seconds: float) -> EnergyQoEMpc:
         mpc = self._mpc_cache.get(segment_seconds)
         if mpc is None:
+            config = self.mpc_config
+            if config.segment_seconds != segment_seconds:
+                # The DP buffer dynamics must advance by the *session's*
+                # segment duration, not the config default.
+                config = replace(config, segment_seconds=segment_seconds)
             mpc = EnergyQoEMpc(
-                EnergyModel(self.device, segment_seconds), self.mpc_config
+                EnergyModel(self.device, segment_seconds), config
             )
             self._mpc_cache[segment_seconds] = mpc
         return mpc
 
-    def _lookahead(self, ctx: PlanContext, current_ptile: Ptile) -> list[MpcSegment]:
-        """Build the MPC window from the metadata of the next H segments.
+    def _plan_tables(self, ctx: PlanContext) -> PlanTables:
+        """The stacked version tables covering this plan's window.
 
-        Future segments reuse the predicted viewport; when a future
-        segment has no matching Ptile its sizes are approximated with
-        the current Ptile's geometry (the client cannot know better).
-        """
-        segments: list[MpcSegment] = []
-        manifests = ctx.future_manifests or (ctx.manifest,)
-        for offset, manifest in enumerate(manifests):
-            ptile = current_ptile
-            future = (
-                ctx.future_ptiles[offset]
-                if offset < len(ctx.future_ptiles)
-                else None
-            )
-            if future is not None:
-                matched = future.match(ctx.predicted_viewport)
-                if matched is not None:
-                    ptile = matched
-            segments.append(self._segment_versions(ctx, manifest, ptile, future))
-        return segments
-
-    def _segment_versions(
-        self,
-        ctx: PlanContext,
-        manifest: SegmentManifest,
-        ptile: Ptile,
-        segment_ptiles: SegmentPtiles | None,
-    ) -> MpcSegment:
-        """Download sizes and predicted QoE for every (v, f) version.
-
-        The size matrix and per-quality Q_o column depend only on the
-        segment, the Ptile, and the ladder, so they are memoized; the
-        frame-rate factor depends on the per-plan switching-speed
-        prediction and is recomputed each call.
+        When the context carries the whole video manifest (the session
+        loop always provides it), one :class:`PlanTables` spans every
+        segment and is shared by every plan and session over that video.
+        Contexts built without it (e.g. unit tests driving ``plan()``
+        directly) get tables keyed by the exact window instead.
         """
         rates = self.ladder.rates()
-        alpha = alpha_from_behavior(
-            max(ctx.predicted_speed_deg_s, 0.0), manifest.ti
-        )
-        sizes, qo = self._version_tables(
-            ctx, manifest, ptile, segment_ptiles, rates
-        )
-        factors = np.array([
-            frame_rate_factor(rate, ctx.fps, alpha) for rate in rates
-        ])
-        qoe = qo[:, None] * factors[None, :]
-        return MpcSegment(sizes_mbit=sizes, qoe=qoe, frame_rates=rates)
-
-    def _version_tables(
-        self,
-        ctx: PlanContext,
-        manifest: SegmentManifest,
-        ptile: Ptile,
-        segment_ptiles: SegmentPtiles | None,
-        rates: tuple[float, ...],
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Memoized (sizes, qo) tables; the cached arrays are shared and
-        must not be mutated."""
-        from_segment = (
-            segment_ptiles is not None
-            and ptile.index < len(segment_ptiles.ptiles)
-            and segment_ptiles.ptiles[ptile.index] is ptile
-        )
+        video = ctx.video_manifest
+        if video is not None:
+            key = (
+                ctx.manifest.video_id,
+                "video",
+                video.num_segments,
+                ctx.fps,
+                rates,
+            )
+            tables = self._tables_cache.get(key)
+            if tables is None:
+                tables = PlanTables(
+                    tuple(video), rates, ctx.fps, self.quality_model
+                )
+                self._tables_cache[key] = tables
+            return tables
+        manifests = ctx.future_manifests or (ctx.manifest,)
         key = (
-            manifest.video_id,
-            manifest.segment_index,
-            ptile.region_key,
-            ptile.tiles,
-            from_segment,
+            ctx.manifest.video_id,
+            "window",
+            tuple(m.segment_index for m in manifests),
             ctx.fps,
             rates,
         )
-        cached = self._version_cache.get(key)
-        if cached is not None:
-            return cached
-
-        qualities = QUALITY_LEVELS
-        # Low-quality remainder blocks: fixed cost across versions.
-        if from_segment:
-            remainder = segment_ptiles.remainder_for(ptile)
-        else:
-            remainder = partition_remainder(ptile.grid, ptile)
-        background = sum(
-            manifest.region_size_mbit(b.key, b.area_fraction, LOWEST_QUALITY)
-            for b in remainder
-        )
-
-        sizes = np.empty((len(qualities), len(rates)))
-        qo = np.empty(len(qualities))
-        for vi, v in enumerate(qualities):
-            qo[vi] = self.quality_model.qo(
-                manifest.si, manifest.ti, manifest.qoe_bitrate_mbps(v)
+        tables = self._tables_cache.get(key)
+        if tables is None:
+            tables = PlanTables(
+                tuple(manifests), rates, ctx.fps, self.quality_model
             )
-            for fi, rate in enumerate(rates):
-                sizes[vi, fi] = (
-                    manifest.region_size_mbit(
-                        ptile.region_key,
-                        ptile.area_fraction,
-                        v,
-                        frame_rate=rate,
-                        fps=ctx.fps,
-                    )
-                    + background
-                )
-        self._version_cache[key] = (sizes, qo)
-        return sizes, qo
+            self._tables_cache[key] = tables
+        return tables
 
     def _fallback_plan(self, ctx: PlanContext) -> DownloadPlan:
         plan = self.fallback.plan(ctx)

@@ -25,7 +25,7 @@ import numpy as np
 from ..power.energy import EnergyModel
 from ..power.models import TilingScheme
 
-__all__ = ["MpcConfig", "MpcSegment", "MpcDecision", "EnergyQoEMpc"]
+__all__ = ["MpcConfig", "MpcSegment", "MpcWindow", "MpcDecision", "EnergyQoEMpc"]
 
 
 @dataclass(frozen=True)
@@ -98,6 +98,61 @@ class MpcSegment:
 
 
 @dataclass(frozen=True)
+class MpcWindow:
+    """A whole lookahead window stacked into single tensors.
+
+    ``sizes_mbit[h, v-1, f-1]`` and ``qoe[h, v-1, f-1]`` are the size
+    and predicted quality of version (v, f) of the h-th lookahead
+    segment (the current segment is ``h = 0``).  All segments share one
+    frame-rate ladder, which is what lets :meth:`EnergyQoEMpc.choose`
+    compute every per-version download time and Eq. 1 energy for the
+    whole horizon in one vectorized pass instead of once per segment.
+    A shorter-than-horizon window near the video end is fine.
+    """
+
+    sizes_mbit: np.ndarray
+    qoe: np.ndarray
+    frame_rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes_mbit, dtype=float)
+        qoe = np.asarray(self.qoe, dtype=float)
+        if sizes.shape != qoe.shape or sizes.ndim != 3:
+            raise ValueError("sizes and qoe must be equal-shape 3D arrays")
+        if sizes.shape[0] < 1:
+            raise ValueError("need at least one lookahead segment")
+        if sizes.shape[2] != len(self.frame_rates):
+            raise ValueError("frame-rate axis mismatch")
+        if np.any(sizes <= 0):
+            raise ValueError("sizes must be positive")
+        object.__setattr__(self, "sizes_mbit", sizes)
+        object.__setattr__(self, "qoe", qoe)
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.sizes_mbit.shape[0])
+
+    @property
+    def num_qualities(self) -> int:
+        return int(self.sizes_mbit.shape[1])
+
+    @property
+    def num_rates(self) -> int:
+        return int(self.sizes_mbit.shape[2])
+
+    def segments(self) -> list[MpcSegment]:
+        """The equivalent per-segment list (for the reference DP)."""
+        return [
+            MpcSegment(
+                sizes_mbit=self.sizes_mbit[i],
+                qoe=self.qoe[i],
+                frame_rates=self.frame_rates,
+            )
+            for i in range(self.num_segments)
+        ]
+
+
+@dataclass(frozen=True)
 class MpcDecision:
     """The (v, f) decision for the current segment."""
 
@@ -130,24 +185,99 @@ class EnergyQoEMpc:
 
     def choose(
         self,
-        segments: list[MpcSegment],
+        segments: "list[MpcSegment] | MpcWindow",
         bandwidth_mbps: float,
         buffer_s: float,
     ) -> MpcDecision:
         """Pick (v, f) for the first of the lookahead segments.
 
         ``segments`` holds the current segment first, then up to H-1
-        future segments (a shorter list near the video end is fine).
+        future segments (a shorter list near the video end is fine) —
+        either a per-segment :class:`MpcSegment` list or a stacked
+        :class:`MpcWindow`.  The stacked form computes every download
+        time and Eq. 1 energy for the whole horizon in one vectorized
+        pass; both forms feed the same DP scan and return bit-identical
+        decisions (numpy elementwise ops don't depend on whether they
+        run per 2D segment or over the stacked 3D window).
         """
+        if isinstance(segments, MpcWindow):
+            return self._choose_window(segments, bandwidth_mbps, buffer_s)
         if not segments:
             raise ValueError("need at least one lookahead segment")
         if bandwidth_mbps <= 0:
             raise ValueError("bandwidth must be positive")
         bandwidth_mbps = bandwidth_mbps * self.config.bandwidth_safety
         window = segments[: self.config.horizon]
+        trans_w = self.energy_model.device.transmission_mw * 1e-3
+
+        per_segment = []
+        for segment in window:
+            dl = segment.sizes_mbit / bandwidth_mbps  # (V, F)
+            decode_j, render_j = self._rate_energies(segment.frame_rates)
+            # Same association order as _version_energy: (t + d) + r.
+            energy = trans_w * dl + decode_j + render_j
+            # Flatten to plain-Python lists once: the DP scan below is
+            # pure scalar work, where list indexing beats numpy scalar
+            # indexing by an order of magnitude at this problem size.
+            per_segment.append((
+                energy.ravel().tolist(),
+                dl.ravel().tolist(),
+                dl[:, -1].tolist(),
+                segment.qoe.ravel().tolist(),
+                segment.qoe[:, -1].tolist(),
+                segment.num_qualities,
+                segment.num_rates,
+            ))
+        return self._dp_scan(per_segment, window[0].frame_rates, buffer_s)
+
+    def _choose_window(
+        self, window: MpcWindow, bandwidth_mbps: float, buffer_s: float
+    ) -> MpcDecision:
+        """Stacked hot path: one vectorized energy pass for the horizon."""
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        bandwidth_mbps = bandwidth_mbps * self.config.bandwidth_safety
+        horizon = min(window.num_segments, self.config.horizon)
+        trans_w = self.energy_model.device.transmission_mw * 1e-3
+
+        sizes = window.sizes_mbit[:horizon]  # (H, V, F)
+        qoe = window.qoe[:horizon]
+        dl_stack = sizes / bandwidth_mbps
+        decode_j, render_j = self._rate_energies(window.frame_rates)
+        # Broadcasting the (F,) energy vectors over (H, V, F) applies the
+        # exact elementwise ops of the per-segment path — bit-identical.
+        energy_stack = trans_w * dl_stack + decode_j + render_j
+        v_count = window.num_qualities
+        f_count = window.num_rates
+
+        per_segment = []
+        for h in range(horizon):
+            dl = dl_stack[h]
+            per_segment.append((
+                energy_stack[h].ravel().tolist(),
+                dl.ravel().tolist(),
+                dl[:, -1].tolist(),
+                qoe[h].ravel().tolist(),
+                qoe[h][:, -1].tolist(),
+                v_count,
+                f_count,
+            ))
+        return self._dp_scan(per_segment, window.frame_rates, buffer_s)
+
+    def _dp_scan(
+        self,
+        per_segment: list[tuple],
+        first_frame_rates: tuple[float, ...],
+        buffer_s: float,
+    ) -> MpcDecision:
+        """The flat-list DP over precomputed per-segment tables.
+
+        Each entry of ``per_segment`` is ``(energy_flat, dl_flat,
+        dl_top, qoe_flat, qoe_top, v_count, f_count)`` with the flat
+        index ``j = (v - 1) * f_count + (f - 1)``.
+        """
         cfg = self.config
         levels = cfg.state_levels()
-        trans_w = self.energy_model.device.transmission_mw * 1e-3
 
         start = cfg.snap(buffer_s)
         costs: dict[int, float] = {start: 0.0}
@@ -158,21 +288,8 @@ class EnergyQoEMpc:
         threshold = cfg.buffer_threshold_s
         one_minus_eps = 1.0 - cfg.qoe_tolerance
 
-        for segment in window:
-            v_count = segment.num_qualities
-            f_count = segment.num_rates
-            dl = segment.sizes_mbit / bandwidth_mbps  # (V, F)
-            decode_j, render_j = self._rate_energies(segment.frame_rates)
-            # Same association order as _version_energy: (t + d) + r.
-            energy = trans_w * dl + decode_j + render_j
-            # Flatten to plain-Python lists once: the DP scan below is
-            # pure scalar work, where list indexing beats numpy scalar
-            # indexing by an order of magnitude at this problem size.
-            energy_flat = energy.ravel().tolist()
-            dl_flat = dl.ravel().tolist()
-            dl_top = dl[:, -1].tolist()
-            qoe_flat = segment.qoe.ravel().tolist()
-            qoe_top = segment.qoe[:, -1].tolist()
+        for (energy_flat, dl_flat, dl_top, qoe_flat, qoe_top,
+             v_count, f_count) in per_segment:
             n_versions = v_count * f_count
 
             new_costs: dict[int, float] = {}
@@ -231,17 +348,19 @@ class EnergyQoEMpc:
         return MpcDecision(
             quality=first_v,
             frame_rate_index=first_f,
-            frame_rate=window[0].frame_rates[first_f - 1],
+            frame_rate=first_frame_rates[first_f - 1],
             planned_energy_j=float(costs[best_state]),
         )
 
     def choose_reference(
         self,
-        segments: list[MpcSegment],
+        segments: "list[MpcSegment] | MpcWindow",
         bandwidth_mbps: float,
         buffer_s: float,
     ) -> MpcDecision:
         """The original scalar DP, kept as the parity oracle for tests."""
+        if isinstance(segments, MpcWindow):
+            segments = segments.segments()
         if not segments:
             raise ValueError("need at least one lookahead segment")
         if bandwidth_mbps <= 0:

@@ -7,14 +7,20 @@ from .ablations import (
     sweep_frame_rate_ladder,
     sweep_mpc_horizon,
     sweep_qoe_tolerance,
+    sweep_edge_cache,
     sweep_viewport_predictor,
 )
 from .artifacts import (
     ARTIFACT_SCHEMA_VERSION,
+    RESULTS_SCHEMA_VERSION,
     ArtifactStats,
     ArtifactStore,
     content_digest,
     default_cache_dir,
+    results_key,
+    session_job_digest,
+    structural_fingerprint,
+    sweep_context_digest,
 )
 from .analysis import (
     BootstrapCI,
@@ -61,6 +67,7 @@ __all__ = [
     "sweep_frame_rate_ladder",
     "sweep_mpc_horizon",
     "sweep_qoe_tolerance",
+    "sweep_edge_cache",
     "sweep_viewport_predictor",
     "BootstrapCI",
     "PairedComparison",
@@ -68,10 +75,15 @@ __all__ = [
     "compare_schemes",
     "paired_comparison",
     "ARTIFACT_SCHEMA_VERSION",
+    "RESULTS_SCHEMA_VERSION",
     "ArtifactStats",
     "ArtifactStore",
     "content_digest",
     "default_cache_dir",
+    "results_key",
+    "session_job_digest",
+    "structural_fingerprint",
+    "sweep_context_digest",
     "Fig2Result",
     "run_fig2",
     "ReportConfig",

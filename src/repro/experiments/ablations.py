@@ -32,10 +32,12 @@ from ..prediction.bandwidth import (
 )
 from ..ptile.construction import PtileConfig, build_video_ptiles
 from ..ptile.coverage import coverage_stats
+from ..streaming.cache import build_edge_hit_model
 from ..streaming.metrics import SessionResult
 from ..streaming.session import SessionConfig
 from ..video.framerate import FrameRateLadder
-from .runner import SessionJob, SweepContext, run_session_jobs
+from .artifacts import ArtifactStore, ptiles_key
+from .runner import SessionJob, SweepContext, parallel_map, run_session_jobs
 from .setup import ExperimentSetup
 
 __all__ = [
@@ -45,6 +47,7 @@ __all__ = [
     "sweep_frame_rate_ladder",
     "sweep_bandwidth_estimator",
     "sweep_clustering_sigma",
+    "sweep_edge_cache",
     "sweep_viewport_predictor",
 ]
 
@@ -244,25 +247,54 @@ def sweep_bandwidth_estimator(
     return points
 
 
+def _sigma_point_task(item: tuple):
+    """Build one sigma point's Ptiles (any process), via the store."""
+    video, train, grid, sigma, store_root = item
+    config = PtileConfig(sigma=sigma, delta=sigma / 4.0)
+    store = ArtifactStore(store_root) if store_root is not None else None
+    key = None
+    if store is not None:
+        key = ptiles_key(video, train, grid, config)
+        got = store.get("ptiles", key)
+        if got is not None:
+            return got
+    ptiles = build_video_ptiles(video, train, grid, config)
+    if store is not None:
+        store.put("ptiles", key, ptiles)
+    return ptiles
+
+
 def sweep_clustering_sigma(
     setup: ExperimentSetup,
     sigma_factors: tuple[float, ...] = (0.5, 1.0, 2.0),
     video_id: int = 8,
+    workers: int | None = 1,
 ) -> list[AblationPoint]:
     """Ptile construction versus the cluster size bound sigma.
 
     Reports the Fig. 7-style statistics: mean Ptiles per segment, user
     coverage, and the mean Ptile area (the energy proxy the bound
-    controls).
+    controls).  The per-sigma Algorithm 1 builds are independent, so
+    they fan out across the runner pool (``workers``: 1 = serial, 0 =
+    auto-detect), and each sigma point shares ``setup.artifacts`` —
+    every (sigma, delta) resolves to its own content key, so a repeated
+    sweep deserializes instead of re-clustering.
     """
     video = setup.dataset.video(video_id)
     train = setup.dataset.train_traces(video_id)
     traces = setup.dataset.traces[video_id]
+    store_root = setup.artifacts.root if setup.artifacts is not None else None
+    sigmas = [setup.grid.tile_width * factor for factor in sigma_factors]
+    items = [
+        (video, train, setup.grid, sigma, store_root) for sigma in sigmas
+    ]
+    if len(items) > 1 and workers != 1:
+        built = parallel_map(_sigma_point_task, items, workers=workers).results
+    else:
+        built = [_sigma_point_task(item) for item in items]
+
     points = []
-    for factor in sigma_factors:
-        sigma = setup.grid.tile_width * factor
-        config = PtileConfig(sigma=sigma, delta=sigma / 4.0)
-        ptiles = build_video_ptiles(video, train, setup.grid, config)
+    for sigma, ptiles in zip(sigmas, built):
         stats = coverage_stats(video_id, ptiles, traces)
         areas = [
             p.area_fraction for sp in ptiles for p in sp.ptiles
@@ -277,6 +309,60 @@ def sweep_clustering_sigma(
                     "mean_ptiles": stats.mean_ptiles,
                     "coverage": stats.covered_fraction,
                     "mean_area": float(np.mean(areas)) if areas else 0.0,
+                },
+            )
+        )
+    return points
+
+
+def sweep_edge_cache(
+    setup: ExperimentSetup,
+    capacities_mbit: tuple[float, ...] = (0.0, 500.0, 2000.0, 8000.0),
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 8,
+    users: int = 2,
+    edge_bandwidth_mbps: float = 200.0,
+    workers: int | None = 1,
+) -> list[AblationPoint]:
+    """Session metrics versus edge-cache capacity.
+
+    For each capacity, an :class:`~repro.streaming.cache.EdgeHitModel`
+    is trained by replaying the training population's Ptile requests
+    through the LRU edge cache; sessions then serve the cached fraction
+    of every segment at the edge link rate (see ``run_session``), so
+    larger caches shorten downloads and rebuffering.  Capacity 0 is the
+    no-edge-cache baseline.
+    """
+    points = []
+    for capacity in capacities_mbit:
+        if capacity > 0:
+            model = build_edge_hit_model(
+                setup.manifest(video_id),
+                setup.dataset.train_traces(video_id),
+                setup.ptiles(video_id),
+                capacity_mbit=capacity,
+                edge_bandwidth_mbps=edge_bandwidth_mbps,
+            )
+            label = f"edge={capacity:.0f}Mb"
+        else:
+            model = None
+            label = "no edge cache"
+        config = replace(setup.session_config, edge_model=model)
+        scheme = OursScheme(device=device)
+        sessions = _run_sessions(
+            setup, device, scheme, video_id, users, config, workers
+        )
+        points.append(
+            AblationPoint(
+                label,
+                float(np.mean([s.energy_per_segment_j for s in sessions])),
+                float(np.mean([s.mean_qoe for s in sessions])),
+                float(np.mean([s.rebuffer_count for s in sessions])),
+                extra={
+                    "hit_ratio": model.mean_hit_ratio if model else 0.0,
+                    "stall": float(
+                        np.mean([s.total_stall_s for s in sessions])
+                    ),
                 },
             )
         )

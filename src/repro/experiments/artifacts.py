@@ -31,10 +31,22 @@ The store is wired into :class:`~repro.experiments.setup.ExperimentSetup`
 (see ``ExperimentSetup.prepare``); the CLI enables it by default under
 ``~/.cache/repro-360`` (``--artifact-cache DIR`` / ``--no-artifact-cache``
 to relocate or disable, ``REPRO_ARTIFACT_CACHE`` as the env override).
+
+Session **results** are cached the same way: a
+:class:`~repro.streaming.metrics.SessionResult` is a deterministic
+function of the sweep context (schemes, device, manifests, Ptiles,
+traces, session config) and the job (scheme, video, network, user,
+per-job overrides), so :func:`results_key` digests both — via
+:func:`structural_fingerprint`, which reduces the live experiment
+objects to primitives — plus :data:`RESULTS_SCHEMA_VERSION` and the
+package version.  Any change to the simulation inputs or the code
+version lands in a different slot; ``repro-360 --no-results-cache``
+opts out (see ``run_session_jobs``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
@@ -46,13 +58,15 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..geometry.tiling import TileGrid
-from ..ptile.construction import PtileConfig
+from ..ptile.construction import Ptile, PtileConfig
 from ..traces.head_movement import HeadTrace
 from ..video.content import Video
 from ..video.encoder import EncoderModel
+from ..video.segments import VideoManifest
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "RESULTS_SCHEMA_VERSION",
     "ArtifactStats",
     "ArtifactStore",
     "content_digest",
@@ -62,6 +76,10 @@ __all__ = [
     "manifest_key",
     "ptiles_key",
     "ftiles_key",
+    "results_key",
+    "session_job_digest",
+    "structural_fingerprint",
+    "sweep_context_digest",
     "traces_fingerprint",
     "video_fingerprint",
 ]
@@ -69,7 +87,11 @@ __all__ = [
 ARTIFACT_SCHEMA_VERSION = 1
 """Bumped whenever the on-disk layout or the key composition changes."""
 
-ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles")
+RESULTS_SCHEMA_VERSION = 1
+"""Bumped whenever the session-result schema or the fingerprint
+composition changes; baked into every results key."""
+
+ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles", "results")
 
 
 def default_cache_dir() -> Path:
@@ -219,6 +241,119 @@ def ftiles_key(
         segment_seconds,
         n_tiles,
         traces_fingerprint(train_traces),
+    )
+
+
+# ----------------------------------------------------------------------
+# Session-results keys.  A SessionResult is a pure function of the sweep
+# context and the job, so both are reduced to digestible primitives by a
+# structural walk over the live objects.  Compact special cases keep the
+# walk fast where the generic one would be wasteful or wrong:
+#
+# * VideoManifest -> its (video, encoder) inputs (it is a pure function
+#   of them, and its segment tuple would re-digest the same arrays);
+# * Ptile -> (index, tiles, rect, grid) — everything downstream
+#   planning reads; the clustering internals that produced it are
+#   already pinned by those fields;
+# * HeadTrace -> the same (ids + raw samples) material as
+#   traces_fingerprint;
+# * callables (e.g. SessionConfig.predictor_factory) -> their import
+#   path, so swapping the prediction strategy invalidates the slot.
+#
+# Dataclasses are walked field-by-field via dataclasses.fields(), which
+# deliberately skips memo caches attached with object.__setattr__.
+# ----------------------------------------------------------------------
+
+
+def structural_fingerprint(obj: Any) -> Any:
+    """Reduce a live experiment object to :func:`content_digest` input."""
+    if obj is None or isinstance(
+        obj, (bool, str, bytes, int, float, np.integer, np.floating,
+              np.ndarray)
+    ):
+        return obj
+    if isinstance(obj, VideoManifest):
+        return (
+            "video-manifest",
+            video_fingerprint(obj.video),
+            encoder_fingerprint(obj.encoder),
+        )
+    if isinstance(obj, Ptile):
+        return (
+            "ptile",
+            obj.index,
+            tuple(sorted((t.row, t.col) for t in obj.tiles)),
+            (obj.rect.x0, obj.rect.y0, obj.rect.x1, obj.rect.y1),
+            grid_fingerprint(obj.grid),
+        )
+    if isinstance(obj, TileGrid):
+        return grid_fingerprint(obj)
+    if isinstance(obj, HeadTrace):
+        return (
+            "head-trace",
+            obj.user_id,
+            obj.video_id,
+            obj.timestamps,
+            obj.yaw_unwrapped,
+            obj.pitch,
+        )
+    if isinstance(obj, (tuple, list)):
+        return tuple(structural_fingerprint(part) for part in obj)
+    if isinstance(obj, (set, frozenset)):
+        parts = [structural_fingerprint(part) for part in obj]
+        return ("set", tuple(sorted(parts, key=repr)))
+    if isinstance(obj, dict):
+        items = [
+            (structural_fingerprint(k), structural_fingerprint(v))
+            for k, v in obj.items()
+        ]
+        return ("dict", tuple(sorted(items, key=repr)))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            "obj",
+            type(obj).__qualname__,
+            tuple(
+                (f.name, structural_fingerprint(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if callable(obj):
+        return (
+            "callable",
+            getattr(obj, "__module__", "?"),
+            getattr(obj, "__qualname__", repr(obj)),
+        )
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__}; add a structural case"
+    )
+
+
+def sweep_context_digest(context: Any) -> str:
+    """Digest of everything a sweep's sessions share (a SweepContext)."""
+    return content_digest(
+        "sweep-context", RESULTS_SCHEMA_VERSION, structural_fingerprint(context)
+    )
+
+
+def session_job_digest(job: Any) -> str:
+    """Digest of one job's inputs (a SessionJob).
+
+    ``key`` is excluded: it is a caller-side display label carried
+    through to reports, not a simulation input.
+    """
+    parts = tuple(
+        (f.name, structural_fingerprint(getattr(job, f.name)))
+        for f in dataclasses.fields(job)
+        if f.name != "key"
+    )
+    return content_digest("session-job", parts)
+
+
+def results_key(context_digest: str, job: Any) -> str:
+    """Cache key of one session's result under one sweep context."""
+    return _versioned(
+        "results", RESULTS_SCHEMA_VERSION, context_digest,
+        session_job_digest(job)
     )
 
 

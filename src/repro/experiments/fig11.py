@@ -105,6 +105,7 @@ def run_fig11(
     users_per_video: int | None = None,
     results: dict[tuple[str, str, int], list[SessionResult]] | None = None,
     workers: int | None = 1,
+    results_store=None,
 ) -> QoEComparison:
     """Run (or reuse) the session matrix and summarize QoE.
 
@@ -113,5 +114,6 @@ def run_fig11(
     """
     if results is None:
         results = run_comparison(setup, device, users_per_video,
-                                 workers=workers)
+                                 workers=workers,
+                                 results_store=results_store)
     return summarize_qoe(results)

@@ -122,6 +122,7 @@ def run_fig9(
     users_per_video: int | None = None,
     results: dict[tuple[str, str, int], list[SessionResult]] | None = None,
     workers: int | None = 1,
+    results_store=None,
 ) -> EnergyComparison:
     """Run (or reuse) the session matrix and summarize energy.
 
@@ -132,5 +133,6 @@ def run_fig9(
     """
     if results is None:
         results = run_comparison(setup, device, users_per_video,
-                                 workers=workers)
+                                 workers=workers,
+                                 results_store=results_store)
     return summarize_energy(results, device.name)

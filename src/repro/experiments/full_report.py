@@ -37,6 +37,7 @@ class ReportConfig:
     video_ids: tuple[int, ...] | None = None  # None = the full catalog
     workers: int | None = 1  # session-sweep processes; 0 = auto-detect
     artifacts: ArtifactStore | None = None  # content-prep disk cache
+    results: ArtifactStore | None = None  # session-results disk cache
 
 
 def generate_report(
@@ -108,7 +109,7 @@ def generate_report(
     emit("## Figs. 9-11 — scheme comparison", "")
     results = run_comparison(
         setup, device, users_per_video=config.users_per_video,
-        workers=config.workers,
+        workers=config.workers, results_store=config.results,
     )
     energy = summarize_energy(results, device.name)
     qoe = summarize_qoe(results)

@@ -43,6 +43,7 @@ from typing import Any, Callable, Hashable, Sequence
 
 from ..power.models import DevicePowerModel
 from ..ptile.construction import SegmentPtiles
+from .artifacts import ArtifactStore, results_key, sweep_context_digest
 from ..streaming.ftile import FtilePartition
 from ..streaming.metrics import SessionResult
 from ..streaming.schemes import StreamingScheme
@@ -186,6 +187,7 @@ class SweepRun:
     workers: int
     chunk_size: int
     wall_s: float
+    cache_hits: int = 0  # jobs served from the results store
 
     @property
     def num_jobs(self) -> int:
@@ -216,6 +218,11 @@ class SweepRun:
             f" chunks of {self.chunk_size}, {self.wall_s:.2f}s wall"
             f" ({self.sessions_per_second:.2f} jobs/s)",
         ]
+        if self.cache_hits:
+            lines.append(
+                f"  {self.cache_hits}/{self.num_jobs} job(s) served from"
+                " the results cache"
+            )
         if self.timings:
             total = sum(t.elapsed_s for t in self.timings)
             slowest = max(self.timings, key=lambda t: t.elapsed_s)
@@ -381,6 +388,7 @@ def run_session_jobs(
     workers: int | None = 1,
     chunk_size: int | None = None,
     strict: bool = True,
+    results: ArtifactStore | None = None,
 ) -> SweepRun:
     """Run session jobs, serially or across processes.
 
@@ -389,18 +397,78 @@ def run_session_jobs(
     byte-identical results to a serial one.  With ``strict`` (default)
     any failure raises after the sweep; otherwise failed slots are
     ``None`` and described in ``SweepRun.failures``.
+
+    With a ``results`` store, each job is first looked up under its
+    (sweep-context digest, job digest, schema/code version) key; hits
+    skip execution entirely and fresh results are written back, so a
+    warm re-run of an identical sweep is pure deserialization while
+    staying byte-identical to an uncached one.  Only the cache misses
+    hit the pool, and cached/computed results merge back in job order.
     """
     jobs = tuple(jobs)
     # Ship only the videos these jobs reference; each worker's payload
     # is then the jobs' slice of the context, not the whole catalog.
     context = context.slice({job.video_id for job in jobs})
-    run = _execute_sweep(
-        context,
-        context.run_job,
-        jobs,
-        [job.key for job in jobs],
-        workers,
-        chunk_size,
+    if results is None or not jobs:
+        run = _execute_sweep(
+            context,
+            context.run_job,
+            jobs,
+            [job.key for job in jobs],
+            workers,
+            chunk_size,
+        )
+        if strict:
+            run.raise_on_failure()
+        return run
+
+    start = time.perf_counter()
+    context_digest = sweep_context_digest(context)
+    keys = [results_key(context_digest, job) for job in jobs]
+    merged: list[Any] = [results.get("results", key) for key in keys]
+    pending = [i for i, hit in enumerate(merged) if hit is None]
+
+    timings: list[JobTiming] = []
+    failures: list[JobFailure] = []
+    if pending:
+        sub = _execute_sweep(
+            context,
+            context.run_job,
+            [jobs[i] for i in pending],
+            [jobs[i].key for i in pending],
+            workers,
+            chunk_size,
+        )
+        failed_positions = {failure.job_index for failure in sub.failures}
+        for position, i in enumerate(pending):
+            merged[i] = sub.results[position]
+            if position not in failed_positions and sub.results[position] is not None:
+                results.put("results", keys[i], sub.results[position])
+        timings = sub.timings
+        # Failure indices refer to the original job list, not the
+        # pending subset the pool actually ran.
+        failures = [
+            JobFailure(
+                failure.key,
+                pending[failure.job_index],
+                failure.error,
+                failure.traceback,
+            )
+            for failure in sub.failures
+        ]
+        used_workers, chunk = sub.workers, sub.chunk_size
+    else:
+        used_workers = 1
+        chunk = resolve_chunk_size(chunk_size, 0, 1)
+
+    run = SweepRun(
+        results=merged,
+        timings=timings,
+        failures=failures,
+        workers=used_workers,
+        chunk_size=chunk,
+        wall_s=time.perf_counter() - start,
+        cache_hits=len(jobs) - len(pending),
     )
     if strict:
         run.raise_on_failure()

@@ -325,6 +325,7 @@ def run_comparison(
     scheme_names: tuple[str, ...] = SCHEME_ORDER,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    results_store: ArtifactStore | None = None,
 ) -> dict[tuple[str, str, int], list[SessionResult]]:
     """Run the full session matrix of Section V-C.
 
@@ -335,14 +336,17 @@ def run_comparison(
     ``workers`` fans the sessions over a process pool (0 = auto-detect,
     1 = serial), and likewise fans out cold content preparation across
     videos; results are identical for any worker count, and identical
-    with the artifact store on or off.
+    with the artifact store on or off.  ``results_store`` additionally
+    serves previously computed sessions from the results cache (see
+    :func:`~repro.experiments.runner.run_session_jobs`).
     """
     context, jobs = build_sweep(
         setup, device, users_per_video, video_ids, scheme_names,
         workers=workers,
     )
     run = run_session_jobs(
-        context, jobs, workers=workers, chunk_size=chunk_size
+        context, jobs, workers=workers, chunk_size=chunk_size,
+        results=results_store,
     )
     results: dict[tuple[str, str, int], list[SessionResult]] = {}
     for job, result in zip(jobs, run.results):

@@ -5,6 +5,8 @@ from .buffer import BufferEvent, PlaybackBuffer
 from .cache import (
     CacheStats,
     EdgeCache,
+    EdgeHitModel,
+    build_edge_hit_model,
     ptile_vs_ctile_caching,
     simulate_cache,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "PlaybackBuffer",
     "CacheStats",
     "EdgeCache",
+    "EdgeHitModel",
+    "build_edge_hit_model",
     "ptile_vs_ctile_caching",
     "simulate_cache",
     "TimelineEntry",

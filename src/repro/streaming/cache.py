@@ -24,8 +24,8 @@ from ..traces.head_movement import HeadTrace
 from ..video.segments import VideoManifest
 from .schemes import LOWEST_QUALITY
 
-__all__ = ["CacheStats", "EdgeCache", "simulate_cache",
-           "ptile_vs_ctile_caching"]
+__all__ = ["CacheStats", "EdgeCache", "EdgeHitModel", "simulate_cache",
+           "build_edge_hit_model", "ptile_vs_ctile_caching"]
 
 
 @dataclass
@@ -202,6 +202,81 @@ def _ptile_requests(
                 yield key, seg.region_size_mbit(
                     block.key, block.area_fraction, LOWEST_QUALITY
                 )
+
+
+@dataclass(frozen=True)
+class EdgeHitModel:
+    """Per-segment byte hit ratios of an edge cache, for sessions.
+
+    Trained offline from a viewing population (see
+    :func:`build_edge_hit_model`) and attached to
+    :class:`~repro.streaming.session.SessionConfig`: the session serves
+    the cached fraction of every download at the edge link rate and only
+    the miss fraction over the backhaul network trace, so edge caching
+    shortens downloads — and thereby rebuffering — in fig9-style sweeps.
+    Deterministic by construction, so cached sessions stay reproducible.
+    """
+
+    hit_ratios: tuple[float, ...]
+    edge_bandwidth_mbps: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.edge_bandwidth_mbps <= 0:
+            raise ValueError("edge bandwidth must be positive")
+        if any(not 0.0 <= r <= 1.0 for r in self.hit_ratios):
+            raise ValueError("hit ratios must be in [0, 1]")
+
+    def hit_ratio(self, segment_index: int) -> float:
+        """Byte hit ratio for one segment (last ratio past the end)."""
+        if not self.hit_ratios:
+            return 0.0
+        return self.hit_ratios[min(segment_index, len(self.hit_ratios) - 1)]
+
+    @property
+    def mean_hit_ratio(self) -> float:
+        if not self.hit_ratios:
+            return 0.0
+        return sum(self.hit_ratios) / len(self.hit_ratios)
+
+
+def build_edge_hit_model(
+    manifest: VideoManifest,
+    traces: list[HeadTrace],
+    ptiles: list[SegmentPtiles],
+    *,
+    capacity_mbit: float = 2000.0,
+    quality: int = 3,
+    fov_deg: float = 100.0,
+    policy: str = "lru",
+    edge_bandwidth_mbps: float = 200.0,
+) -> EdgeHitModel:
+    """Train per-segment byte hit ratios from a viewing population.
+
+    Replays the population's Ptile requests (the same stream as
+    :func:`ptile_vs_ctile_caching`) through one :class:`EdgeCache` and
+    tallies, per segment, what fraction of the requested bytes the cache
+    served.  A later individual session then experiences those hit
+    ratios: its per-segment Ptile request is statistically one of the
+    population's.
+    """
+    if not traces:
+        raise ValueError("need at least one viewer")
+    n = manifest.num_segments
+    requested = [0.0] * n
+    hit = [0.0] * n
+    cache = EdgeCache(capacity_mbit=capacity_mbit, policy=policy)
+    for key, size in _ptile_requests(manifest, traces, ptiles, quality,
+                                     fov_deg):
+        segment_index = key[1]
+        requested[segment_index] += size
+        if cache.request(key, size):
+            hit[segment_index] += size
+    ratios = tuple(
+        h / r if r > 0 else 0.0 for h, r in zip(hit, requested)
+    )
+    return EdgeHitModel(
+        hit_ratios=ratios, edge_bandwidth_mbps=edge_bandwidth_mbps
+    )
 
 
 def ptile_vs_ctile_caching(

@@ -27,7 +27,7 @@ from ..geometry.tiling import Tile, TileGrid
 from ..geometry.viewport import Rect, Viewport
 from ..power.models import TilingScheme
 from ..ptile.construction import SegmentPtiles
-from ..video.segments import SegmentManifest
+from ..video.segments import SegmentManifest, VideoManifest
 from .abr import ThroughputBufferABR
 from .ftile import FtilePartition
 
@@ -74,6 +74,10 @@ class PlanContext:
     future_ptiles: tuple[SegmentPtiles | None, ...] = ()
     predicted_speed_deg_s: float = 0.0
     segment_seconds: float = 1.0
+    # The whole video's manifest, when the caller has it (the session
+    # loop always does).  Lets planners precompute tables spanning every
+    # segment instead of rebuilding the sliding lookahead window.
+    video_manifest: VideoManifest | None = None
 
 
 @dataclass(frozen=True)

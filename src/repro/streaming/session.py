@@ -39,6 +39,7 @@ from ..traces.head_movement import HeadTrace
 from ..traces.network import NetworkTrace
 from ..video.segments import VideoManifest
 from .buffer import PlaybackBuffer
+from .cache import EdgeHitModel
 from .ftile import FtilePartition
 from .metrics import SegmentRecord, SessionResult
 from .schemes import LOWEST_QUALITY, PlanContext, StreamingScheme
@@ -59,6 +60,10 @@ class SessionConfig:
     late_fetch_horizon_s: float = 1.2
     count_startup_stall: bool = False
     max_segments: int | None = None
+    # When set, the cached fraction of every download is served at the
+    # edge link rate instead of the backhaul trace (see
+    # repro.streaming.cache.build_edge_hit_model).
+    edge_model: EdgeHitModel | None = None
     # Viewport-prediction strategy: a callable (trace, fov_deg, window_s)
     # -> predictor.  None selects the paper's ridge regression; see
     # repro.prediction.strategies for the static/oracle alternatives.
@@ -169,10 +174,21 @@ def run_session(
             ),
             predicted_speed_deg_s=predicted_speed,
             segment_seconds=config.segment_seconds,
+            video_manifest=manifest,
         )
         plan = scheme.plan(ctx)
 
-        download_time = network.download_time(plan.total_size_mbit, wall_t)
+        if config.edge_model is not None:
+            # Split the download: edge-cached bytes arrive at the edge
+            # link rate, only the miss fraction crosses the backhaul.
+            hit_mbit = plan.total_size_mbit * config.edge_model.hit_ratio(k)
+            miss_mbit = plan.total_size_mbit - hit_mbit
+            download_time = (
+                network.download_time(miss_mbit, wall_t)
+                + hit_mbit / config.edge_model.edge_bandwidth_mbps
+            )
+        else:
+            download_time = network.download_time(plan.total_size_mbit, wall_t)
         if download_time > 0:
             bandwidth.add(plan.total_size_mbit / download_time)
         else:

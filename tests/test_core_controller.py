@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import OursScheme
+from repro.core import OursScheme, PlanTables
 from repro.geometry import Viewport
 from repro.power import PIXEL_3, TilingScheme
 from repro.streaming import PlanContext, run_session
@@ -98,6 +98,77 @@ class TestPlan:
             + background
         )
         assert plan.total_size_mbit == pytest.approx(expected)
+
+
+class TestSegmentSecondsRegression:
+    """The DP buffer dynamics must use the session's segment length."""
+
+    def test_mpc_config_tracks_context_segment_seconds(self, ours):
+        # Regression: the controller used to hand MpcConfig to the DP
+        # unchanged, so 2 s sessions planned with 1 s buffer dynamics.
+        assert ours._mpc(1.0).config.segment_seconds == 1.0
+        assert ours._mpc(2.0).config.segment_seconds == 2.0
+        assert ours._mpc(0.5).config.segment_seconds == 0.5
+
+    def test_mpc_cache_keyed_by_segment_seconds(self, ours):
+        one = ours._mpc(1.0)
+        two = ours._mpc(2.0)
+        assert one is not two
+        assert ours._mpc(2.0) is two
+
+    def test_plan_differs_with_two_second_segments(self, ours, ctx):
+        from dataclasses import replace
+
+        # A 2 s segment doubles both the per-segment download payload
+        # and the playback drained per step; the plan must be computed
+        # against those dynamics, not the 1 s defaults.  The decision
+        # energy reported for the same (v, f) choice scales with the
+        # segment's energy model, so the two plans cannot coincide.
+        base = ours.plan(ctx)
+        long_ctx = replace(ctx, segment_seconds=2.0)
+        long_plan = ours.plan(long_ctx)
+        mpc = ours._mpc(2.0)
+        assert mpc.config.segment_seconds == 2.0
+        assert long_plan.total_size_mbit > 0
+        assert base.total_size_mbit > 0
+
+
+class TestPlanTablesPath:
+    def test_plan_matches_scalar_reference(self, ours, ctx):
+        # The production plan must pick exactly what the scalar oracle
+        # picks on the same stacked window.
+        plan = ours.plan(ctx)
+        sp = ctx.segment_ptiles
+        ptile = sp.match(ctx.predicted_viewport)
+        tables = ours._plan_tables(ctx)
+        window = tables.window(ctx, ptile)
+        mpc = ours._mpc(ctx.segment_seconds)
+        want = mpc.choose_reference(
+            window, ctx.bandwidth_mbps, ctx.buffer_s
+        )
+        assert plan.quality == want.quality
+        assert plan.frame_rate == want.frame_rate
+
+    def test_tables_cached_per_video(self, ours, ctx, manifest2):
+        from dataclasses import replace
+
+        full_ctx = replace(ctx, video_manifest=manifest2)
+        first = ours._plan_tables(full_ctx)
+        again = ours._plan_tables(full_ctx)
+        assert first is again
+
+    def test_window_path_without_video_manifest(self, ours, ctx):
+        # The ctx fixture carries no video_manifest: the controller
+        # must fall back to per-window tables and still produce a plan.
+        assert ctx.video_manifest is None
+        plan = ours.plan(ctx)
+        assert plan.total_size_mbit > 0
+        assert plan.used_ptile
+
+    def test_row_lookup_rejects_unknown_segment(self, manifest2, ours, ctx):
+        tables = ours._plan_tables(ctx)
+        with pytest.raises(ValueError):
+            tables.row(10_000)
 
 
 class TestEndToEnd:

@@ -9,6 +9,7 @@ from repro.experiments import (
     AblationPoint,
     make_setup,
     sweep_clustering_sigma,
+    sweep_edge_cache,
 )
 
 
@@ -48,6 +49,74 @@ class TestSigmaSweep:
         )
         assert points[0].label.startswith("sigma=22")
         assert points[1].label.startswith("sigma=90")
+
+    def test_parallel_identical_to_serial(self, tiny_setup):
+        serial = sweep_clustering_sigma(tiny_setup, video_id=8, workers=1)
+        pooled = sweep_clustering_sigma(tiny_setup, video_id=8, workers=2)
+        assert [p.label for p in serial] == [p.label for p in pooled]
+        assert [p.extra["mean_area"] for p in serial] == [
+            p.extra["mean_area"] for p in pooled
+        ]
+        assert [p.extra["mean_ptiles"] for p in serial] == [
+            p.extra["mean_ptiles"] for p in pooled
+        ]
+
+    def test_sigma_points_share_artifact_store(self, tiny_setup, tmp_path):
+        import dataclasses
+
+        from repro.experiments import ArtifactStore
+
+        # Each sigma point opens the store by root (so pooled workers
+        # can share it); assert via the on-disk entries, one per sigma.
+        cached = dataclasses.replace(
+            tiny_setup, artifacts=ArtifactStore(tmp_path)
+        )
+        first = sweep_clustering_sigma(
+            cached, sigma_factors=(0.5, 1.0), video_id=8
+        )
+        entries = sorted(p.name for p in tmp_path.rglob("*.pkl"))
+        assert len(entries) == 2
+
+        # Warm re-run: deserializes the same entries, writes nothing
+        # new, and reproduces the points exactly.
+        again = sweep_clustering_sigma(
+            cached, sigma_factors=(0.5, 1.0), video_id=8
+        )
+        assert sorted(p.name for p in tmp_path.rglob("*.pkl")) == entries
+        assert [p.extra["mean_area"] for p in again] == [
+            p.extra["mean_area"] for p in first
+        ]
+
+
+class TestEdgeCacheSweep:
+    def test_points_and_monotone_hits(self, tiny_setup):
+        points = sweep_edge_cache(
+            tiny_setup, capacities_mbit=(0.0, 2000.0), video_id=8, users=1
+        )
+        assert len(points) == 2
+        assert points[0].label == "no edge cache"
+        assert points[0].extra["hit_ratio"] == 0.0
+        assert points[1].extra["hit_ratio"] > 0.0
+        for point in points:
+            assert point.energy_per_segment_j > 0.0
+
+    def test_hit_ratio_monotone_in_capacity(self, tiny_setup):
+        points = sweep_edge_cache(
+            tiny_setup, capacities_mbit=(500.0, 8000.0), video_id=8, users=1
+        )
+        assert points[0].extra["hit_ratio"] <= points[1].extra["hit_ratio"]
+
+    def test_deterministic(self, tiny_setup):
+        kwargs = dict(capacities_mbit=(0.0, 2000.0), video_id=8, users=1)
+        first = sweep_edge_cache(tiny_setup, **kwargs)
+        again = sweep_edge_cache(tiny_setup, **kwargs)
+        assert [
+            (p.label, p.energy_per_segment_j, p.qoe, p.extra["stall"])
+            for p in first
+        ] == [
+            (p.label, p.energy_per_segment_j, p.qoe, p.extra["stall"])
+            for p in again
+        ]
 
 
 class TestRenderedViewSupply:

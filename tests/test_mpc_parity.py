@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.optimizer import EnergyQoEMpc, MpcConfig, MpcSegment
+from repro.core.optimizer import EnergyQoEMpc, MpcConfig, MpcSegment, MpcWindow
 from repro.power import PIXEL_3
 from repro.power.energy import EnergyModel
 from repro.video.framerate import DEFAULT_LADDER
@@ -122,3 +122,102 @@ class TestDpParity:
             mpc.choose([seg], 0.0, 1.0)
         with pytest.raises(ValueError):
             mpc.choose_reference([seg], 0.0, 1.0)
+
+
+def random_window(
+    rng: np.random.Generator, rates: tuple[float, ...], n_segments: int
+) -> MpcWindow:
+    """A stacked lookahead window sharing one (V, F) version grid."""
+    v_count = int(rng.integers(2, 6))
+    sizes = np.empty((n_segments, v_count, len(rates)))
+    qoe = np.empty((n_segments, v_count, len(rates)))
+    rate_factor = 0.7 + 0.3 * np.asarray(rates) / max(rates)
+    for h in range(n_segments):
+        base_sizes = np.sort(rng.lognormal(mean=1.0, sigma=0.8, size=v_count))
+        sizes[h] = base_sizes[:, None] * rate_factor[None, :]
+        base_qoe = np.sort(rng.uniform(1.0, 5.0, size=v_count))
+        qoe_factor = np.sort(rng.uniform(0.6, 1.0, size=len(rates)))
+        qoe[h] = base_qoe[:, None] * qoe_factor[None, :]
+    return MpcWindow(sizes_mbit=sizes, qoe=qoe, frame_rates=rates)
+
+
+class TestBatchedWindowParity:
+    """The stacked MpcWindow hot path must equal the scalar oracle."""
+
+    def test_randomized_windows_across_durations_and_horizons(self):
+        # Property test over the axes that shape the DP: segment
+        # duration (buffer dynamics), horizon 1..5, short tail windows
+        # (video end), and the full bandwidth/buffer range.
+        rng = np.random.default_rng(20260360)
+        rates = DEFAULT_LADDER.rates()
+        for _ in range(200):
+            seg_s = float(rng.choice([0.5, 1.0, 2.0]))
+            horizon = int(rng.integers(1, 6))
+            config = MpcConfig(horizon=horizon, segment_seconds=seg_s)
+            mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, seg_s), config)
+            # Window lengths both short of and beyond the horizon.
+            n = int(rng.integers(1, horizon + 3))
+            window = random_window(rng, rates, n)
+            bandwidth = float(10 ** rng.uniform(-1.0, 2.0))
+            buffer_s = float(rng.uniform(0.0, 3.0))
+            assert_same_decision(mpc, window, bandwidth, buffer_s)
+
+    def test_window_equals_equivalent_segment_list(self):
+        # The same data fed as a stacked window and as a per-segment
+        # list must produce bit-identical decisions.
+        rng = np.random.default_rng(42)
+        rates = DEFAULT_LADDER.rates()
+        mpc = EnergyQoEMpc(EnergyModel(PIXEL_3, 1.0))
+        for _ in range(50):
+            window = random_window(rng, rates, int(rng.integers(1, 6)))
+            bandwidth = float(10 ** rng.uniform(-0.5, 1.5))
+            buffer_s = float(rng.uniform(0.0, 3.0))
+            batched = mpc.choose(window, bandwidth, buffer_s)
+            listed = mpc.choose(window.segments(), bandwidth, buffer_s)
+            assert (batched.quality, batched.frame_rate_index) == (
+                listed.quality, listed.frame_rate_index
+            )
+            assert batched.planned_energy_j == listed.planned_energy_j
+
+    def test_cold_start_nothing_stall_free(self):
+        # Empty buffer and starved bandwidth: the vm == 0 relaxation
+        # (lowest bitrate, own ladder) must agree in the batched path.
+        rng = np.random.default_rng(99)
+        rates = DEFAULT_LADDER.rates()
+        for seg_s in (0.5, 1.0, 2.0):
+            mpc = EnergyQoEMpc(
+                EnergyModel(PIXEL_3, seg_s), MpcConfig(segment_seconds=seg_s)
+            )
+            for _ in range(25):
+                window = random_window(rng, rates, int(rng.integers(1, 6)))
+                assert_same_decision(mpc, window, 0.05, 0.0)
+
+    def test_window_validation(self):
+        rates = DEFAULT_LADDER.rates()
+        with pytest.raises(ValueError):
+            MpcWindow(
+                sizes_mbit=np.ones((2, 3)), qoe=np.ones((2, 3)),
+                frame_rates=rates,
+            )
+        with pytest.raises(ValueError):
+            MpcWindow(
+                sizes_mbit=np.ones((2, 3, 2)), qoe=np.ones((2, 3, 2)),
+                frame_rates=rates,
+            )
+        with pytest.raises(ValueError):
+            MpcWindow(
+                sizes_mbit=np.zeros((2, 3, len(rates))),
+                qoe=np.ones((2, 3, len(rates))),
+                frame_rates=rates,
+            )
+
+    def test_segments_roundtrip(self):
+        window = random_window(
+            np.random.default_rng(3), DEFAULT_LADDER.rates(), 4
+        )
+        segments = window.segments()
+        assert len(segments) == window.num_segments
+        for h, segment in enumerate(segments):
+            assert np.array_equal(segment.sizes_mbit, window.sizes_mbit[h])
+            assert np.array_equal(segment.qoe, window.qoe[h])
+            assert segment.frame_rates == window.frame_rates

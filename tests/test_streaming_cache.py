@@ -5,6 +5,8 @@ import pytest
 from repro.streaming import (
     CacheStats,
     EdgeCache,
+    EdgeHitModel,
+    build_edge_hit_model,
     ptile_vs_ctile_caching,
     simulate_cache,
 )
@@ -159,3 +161,68 @@ class TestPtileVsCtileCaching:
 
     def test_stats_type(self, comparison):
         assert isinstance(comparison["ctile"], CacheStats)
+
+
+class TestEdgeHitModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeHitModel(hit_ratios=(0.5,), edge_bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            EdgeHitModel(hit_ratios=(1.5,))
+        with pytest.raises(ValueError):
+            EdgeHitModel(hit_ratios=(-0.1,))
+
+    def test_hit_ratio_clamps_past_the_end(self):
+        model = EdgeHitModel(hit_ratios=(0.2, 0.4, 0.6))
+        assert model.hit_ratio(0) == 0.2
+        assert model.hit_ratio(2) == 0.6
+        assert model.hit_ratio(99) == 0.6  # last ratio past the end
+
+    def test_empty_model_never_hits(self):
+        model = EdgeHitModel(hit_ratios=())
+        assert model.hit_ratio(0) == 0.0
+        assert model.mean_hit_ratio == 0.0
+
+    def test_mean(self):
+        model = EdgeHitModel(hit_ratios=(0.0, 0.5, 1.0))
+        assert model.mean_hit_ratio == pytest.approx(0.5)
+
+
+class TestBuildEdgeHitModel:
+    @pytest.fixture(scope="class")
+    def model(self, manifest2, small_dataset, ptiles2):
+        return build_edge_hit_model(
+            manifest2, small_dataset.traces[2][:8], ptiles2,
+            capacity_mbit=2000.0,
+        )
+
+    def test_one_ratio_per_segment_in_bounds(self, model, manifest2):
+        assert len(model.hit_ratios) == manifest2.num_segments
+        assert all(0.0 <= r <= 1.0 for r in model.hit_ratios)
+
+    def test_deterministic(self, model, manifest2, small_dataset, ptiles2):
+        again = build_edge_hit_model(
+            manifest2, small_dataset.traces[2][:8], ptiles2,
+            capacity_mbit=2000.0,
+        )
+        assert again.hit_ratios == model.hit_ratios
+
+    def test_population_sharing_yields_hits(self, model):
+        # Eight concurrent viewers share Ptile objects per segment, so
+        # an ample cache must serve a meaningful byte fraction.
+        assert model.mean_hit_ratio > 0.3
+
+    def test_capacity_monotone(self, manifest2, small_dataset, ptiles2):
+        tiny = build_edge_hit_model(
+            manifest2, small_dataset.traces[2][:8], ptiles2,
+            capacity_mbit=1.0,
+        )
+        big = build_edge_hit_model(
+            manifest2, small_dataset.traces[2][:8], ptiles2,
+            capacity_mbit=8000.0,
+        )
+        assert big.mean_hit_ratio >= tiny.mean_hit_ratio
+
+    def test_requires_viewers(self, manifest2, ptiles2):
+        with pytest.raises(ValueError):
+            build_edge_hit_model(manifest2, [], ptiles2)

@@ -168,3 +168,53 @@ class TestQoEPlumbing:
         with pytest.raises(ValueError):
             _run(CtileScheme(), manifest2, small_dataset, network_traces,
                  device, config=cfg)
+
+
+class TestEdgeModel:
+    def test_zero_hit_model_identical_to_none(self, small_dataset, manifest2,
+                                              network_traces, device):
+        from repro.streaming import EdgeHitModel
+
+        base = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                    device)
+        zero = EdgeHitModel(hit_ratios=(0.0,) * manifest2.num_segments)
+        with_model = _run(CtileScheme(), manifest2, small_dataset,
+                          network_traces, device,
+                          config=SessionConfig(edge_model=zero))
+        assert [r.download_time_s for r in with_model.records] == [
+            r.download_time_s for r in base.records
+        ]
+        assert with_model.total_energy_j == base.total_energy_j
+
+    def test_edge_hits_shorten_downloads(self, small_dataset, manifest2,
+                                         network_traces, device):
+        from repro.streaming import EdgeHitModel
+
+        base = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                    device)
+        # A fast edge link serving 60% of every download must beat the
+        # backhaul-only path in total download time and stalls.
+        model = EdgeHitModel(
+            hit_ratios=(0.6,) * manifest2.num_segments,
+            edge_bandwidth_mbps=500.0,
+        )
+        cached = _run(CtileScheme(), manifest2, small_dataset, network_traces,
+                      device, config=SessionConfig(edge_model=model))
+        base_dl = sum(r.download_time_s for r in base.records)
+        cached_dl = sum(r.download_time_s for r in cached.records)
+        assert cached_dl < base_dl
+        assert cached.total_stall_s <= base.total_stall_s
+
+    def test_trained_model_runs_end_to_end(self, small_dataset, manifest2,
+                                           network_traces, device, ptiles2):
+        from repro.streaming import build_edge_hit_model
+
+        model = build_edge_hit_model(
+            manifest2, small_dataset.train_traces(2), ptiles2,
+            capacity_mbit=2000.0,
+        )
+        result = _run(PtileScheme(), manifest2, small_dataset, network_traces,
+                      device, ptiles=ptiles2,
+                      config=SessionConfig(edge_model=model))
+        assert result.num_segments == manifest2.num_segments
+        assert all(r.download_time_s >= 0.0 for r in result.records)
