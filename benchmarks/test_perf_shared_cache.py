@@ -1,0 +1,43 @@
+"""Shared edge-cache benchmarks.
+
+Tracks the throughput of multi-tenant hit-model training: replaying a
+two-tenant population's interleaved Ptile request stream through one
+capacity-bounded cache (``build_shared_edge_hit_models``).  The rate in
+requests/second lands in ``extra_info`` for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+from repro.streaming import CacheTenant, build_shared_edge_hit_models
+
+from conftest import run_once, shared_setup
+
+
+def _tenants(setup, viewers=6):
+    video_ids = [v.meta.video_id for v in setup.videos][:2]
+    return [
+        CacheTenant(
+            video_id=vid,
+            manifest=setup.manifest(vid),
+            traces=tuple(setup.dataset.train_traces(vid)[:viewers]),
+            ptiles=setup.ptiles(vid),
+        )
+        for vid in video_ids
+    ]
+
+
+def test_shared_cache_training_throughput(benchmark):
+    setup = shared_setup()
+    tenants = _tenants(setup)  # content prep outside the timed region
+
+    result = run_once(
+        benchmark, build_shared_edge_hit_models, tenants,
+        capacity_mbit=2000.0,
+    )
+    assert set(result.models) == {t.video_id for t in tenants}
+    assert result.overall.requests > 0
+
+    rate = result.overall.requests / benchmark.stats["mean"]
+    benchmark.extra_info["requests"] = result.overall.requests
+    benchmark.extra_info["requests_per_second"] = rate
+    benchmark.extra_info["mean_hit_ratio"] = result.mean_hit_ratio

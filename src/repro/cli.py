@@ -56,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "table1", "table2", "table3",
             "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "ablation", "report", "all",
+            "fig10", "fig11", "ablation", "shared-cache", "report", "all",
         ],
         help="which table/figure to regenerate",
     )
@@ -108,7 +108,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the session-results cache and re-simulate every "
              "session",
     )
+    parser.add_argument(
+        "--cache-capacities", metavar="MBIT[,MBIT...]",
+        default="0,500,2000,8000",
+        help="shared edge-cache capacities to sweep, comma-separated "
+             "Mbit (shared-cache experiment; 0 = no cache baseline)",
+    )
+    parser.add_argument(
+        "--cache-policy", choices=("lru", "lfu"), default="lru",
+        help="eviction policy of the shared edge cache "
+             "(shared-cache experiment)",
+    )
+    parser.add_argument(
+        "--tenant-videos", metavar="ID[,ID...]", default="5,8",
+        help="video ids of the tenant populations competing for the "
+             "shared edge cache (shared-cache experiment)",
+    )
+    parser.add_argument(
+        "--tenant-viewers", type=int, default=8,
+        help="training viewers per tenant video in the shared-cache "
+             "population (shared-cache experiment)",
+    )
     return parser
+
+
+def _parse_csv(raw: str, convert, flag: str, parser) -> tuple:
+    try:
+        values = tuple(convert(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        parser.error(f"{flag} expects comma-separated values, got {raw!r}")
+    if not values:
+        parser.error(f"{flag} needs at least one value")
+    return values
 
 
 def _artifact_store(args: argparse.Namespace) -> ArtifactStore | None:
@@ -173,6 +204,27 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
                                   workers=args.workers,
                                   results_store=_results_store(args))
             print_lines(comparison.report())
+    elif name == "shared-cache":
+        from .experiments import sweep_shared_cache
+
+        videos = args.tenant_videos_parsed
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           video_ids=videos,
+                           artifacts=_artifact_store(args))
+        points = sweep_shared_cache(
+            setup,
+            capacities_mbit=args.cache_capacities_parsed,
+            video_ids=videos,
+            tenant_viewers=args.tenant_viewers,
+            users=args.users,
+            policy=args.cache_policy,
+            workers=args.workers,
+            results=_results_store(args),
+        )
+        print(f"-- shared edge cache ({args.cache_policy},"
+              f" {len(videos)} tenant video(s)) --")
+        for point in points:
+            print(point.report())
     elif name == "ablation":
         from .experiments import (
             make_setup as _make_setup,
@@ -182,6 +234,7 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             sweep_frame_rate_ladder,
             sweep_mpc_horizon,
             sweep_qoe_tolerance,
+            sweep_shared_cache,
             sweep_viewport_predictor,
         )
 
@@ -206,6 +259,11 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             ),
             "edge cache": sweep_edge_cache(
                 setup, users=args.users, workers=args.workers
+            ),
+            "shared edge cache": sweep_shared_cache(
+                setup, users=args.users, workers=args.workers,
+                tenant_viewers=args.tenant_viewers,
+                policy=args.cache_policy,
             ),
             "viewport predictor": sweep_viewport_predictor(
                 setup, users=args.users, workers=args.workers
@@ -255,6 +313,16 @@ def _main(argv: list[str] | None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error("--workers must be >= 0 (0 = auto-detect)")
+    if args.tenant_viewers < 1:
+        parser.error("--tenant-viewers must be >= 1")
+    args.cache_capacities_parsed = _parse_csv(
+        args.cache_capacities, float, "--cache-capacities", parser
+    )
+    args.tenant_videos_parsed = _parse_csv(
+        args.tenant_videos, int, "--tenant-videos", parser
+    )
+    if any(c < 0 for c in args.cache_capacities_parsed):
+        parser.error("--cache-capacities must be non-negative")
     if args.experiment == "all":
         names = [
             "table1", "table2", "table3",

@@ -8,6 +8,7 @@ from .ablations import (
     sweep_mpc_horizon,
     sweep_qoe_tolerance,
     sweep_edge_cache,
+    sweep_shared_cache,
     sweep_viewport_predictor,
 )
 from .artifacts import (
@@ -68,6 +69,7 @@ __all__ = [
     "sweep_mpc_horizon",
     "sweep_qoe_tolerance",
     "sweep_edge_cache",
+    "sweep_shared_cache",
     "sweep_viewport_predictor",
     "BootstrapCI",
     "PairedComparison",

@@ -32,7 +32,11 @@ from ..prediction.bandwidth import (
 )
 from ..ptile.construction import PtileConfig, build_video_ptiles
 from ..ptile.coverage import coverage_stats
-from ..streaming.cache import build_edge_hit_model
+from ..streaming.cache import (
+    CacheTenant,
+    build_edge_hit_model,
+    build_shared_edge_hit_models,
+)
 from ..streaming.metrics import SessionResult
 from ..streaming.session import SessionConfig
 from ..video.framerate import FrameRateLadder
@@ -48,6 +52,7 @@ __all__ = [
     "sweep_bandwidth_estimator",
     "sweep_clustering_sigma",
     "sweep_edge_cache",
+    "sweep_shared_cache",
     "sweep_viewport_predictor",
 ]
 
@@ -364,6 +369,132 @@ def sweep_edge_cache(
                         np.mean([s.total_stall_s for s in sessions])
                     ),
                 },
+            )
+        )
+    return points
+
+
+def sweep_shared_cache(
+    setup: ExperimentSetup,
+    capacities_mbit: tuple[float, ...] = (0.0, 500.0, 2000.0, 8000.0),
+    device: DevicePowerModel = PIXEL_3,
+    video_ids: tuple[int, ...] | None = None,
+    tenant_viewers: int = 8,
+    users: int = 2,
+    policy: str = "lru",
+    edge_bandwidth_mbps: float = 200.0,
+    workers: int | None = 1,
+    results: ArtifactStore | None = None,
+) -> list[AblationPoint]:
+    """Session metrics versus the capacity of a *shared* edge cache.
+
+    A multi-tenant population — ``tenant_viewers`` training viewers per
+    video in ``video_ids`` (default: every video in ``setup``) — replays
+    its interleaved Ptile request stream through one capacity-bounded
+    edge cache, producing contention-aware per-video
+    :class:`~repro.streaming.cache.EdgeHitModel`\\ s (see
+    :func:`~repro.streaming.cache.build_shared_edge_hit_models`).  Test
+    sessions of every tenant video then stream with their video's model
+    attached via ``SweepContext.video_configs``, so the reported
+    energy/QoE reflect the capacity each video actually won against the
+    other tenants.  The same population's Ctile stream replays through
+    an identical cache for the byte-hit-ratio comparison the extension
+    argues from: Ptile's fewer, larger objects should win at the edge.
+
+    Capacity 0 is the no-edge-cache baseline.  Deterministic and
+    cache-stable: aggregates are identical at any ``workers`` count and
+    with the ``results`` store warm or cold (the per-video models are
+    part of the sweep-context digest).
+    """
+    if video_ids is None:
+        video_ids = tuple(v.meta.video_id for v in setup.videos)
+    if not video_ids:
+        raise ValueError("need at least one tenant video")
+    tenants = tuple(
+        CacheTenant(
+            video_id=vid,
+            manifest=setup.manifest(vid),
+            traces=tuple(setup.dataset.train_traces(vid)[:tenant_viewers]),
+            ptiles=setup.ptiles(vid),
+        )
+        for vid in video_ids
+    )
+
+    scheme = OursScheme(device=device)
+    manifests = {vid: setup.manifest(vid) for vid in video_ids}
+    ptiles = {vid: setup.ptiles(vid) for vid in video_ids}
+    heads = {
+        vid: tuple(setup.dataset.test_traces(vid)[:users])
+        for vid in video_ids
+    }
+
+    points = []
+    for capacity in capacities_mbit:
+        if capacity > 0:
+            shared = build_shared_edge_hit_models(
+                tenants,
+                capacity_mbit=capacity,
+                policy=policy,
+                edge_bandwidth_mbps=edge_bandwidth_mbps,
+            )
+            ctile_shared = build_shared_edge_hit_models(
+                tenants,
+                capacity_mbit=capacity,
+                policy=policy,
+                edge_bandwidth_mbps=edge_bandwidth_mbps,
+                scheme="ctile",
+            )
+            video_configs = {
+                vid: replace(
+                    setup.session_config, edge_model=shared.models[vid]
+                )
+                for vid in video_ids
+            }
+            label = f"shared={capacity:.0f}Mb"
+            extra = {
+                "hit": shared.mean_hit_ratio,
+                "ptile_byte_hit": shared.overall.byte_hit_ratio,
+                "ctile_byte_hit": ctile_shared.overall.byte_hit_ratio,
+            }
+        else:
+            video_configs = {}
+            label = "no edge cache"
+            extra = {"hit": 0.0, "ptile_byte_hit": 0.0, "ctile_byte_hit": 0.0}
+
+        context = SweepContext(
+            schemes={scheme.name: scheme},
+            device=device,
+            networks={"trace2": setup.trace2},
+            manifests=manifests,
+            head_traces=heads,
+            ptiles=ptiles,
+            config=setup.session_config,
+            video_configs=video_configs,
+        )
+        jobs = [
+            SessionJob(
+                key=(scheme.name, vid, user),
+                scheme=scheme.name,
+                video_id=vid,
+                network="trace2",
+                user_index=user,
+            )
+            for vid in video_ids
+            for user in range(len(heads[vid]))
+        ]
+        sessions = run_session_jobs(
+            context, jobs, workers=workers, results=results
+        ).results
+        extra["edge_frac"] = float(
+            np.mean([s.edge_hit_fraction for s in sessions])
+        )
+        points.append(
+            AblationPoint(
+                label,
+                float(np.mean([s.energy_per_segment_j for s in sessions])),
+                float(np.mean([s.mean_qoe for s in sessions])),
+                float(np.mean([s.rebuffer_count for s in sessions])),
+                extra=extra,
             )
         )
     return points

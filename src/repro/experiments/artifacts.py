@@ -59,6 +59,7 @@ import numpy as np
 
 from ..geometry.tiling import TileGrid
 from ..ptile.construction import Ptile, PtileConfig
+from ..streaming.cache import EdgeHitModel
 from ..traces.head_movement import HeadTrace
 from ..video.content import Video
 from ..video.encoder import EncoderModel
@@ -87,9 +88,14 @@ __all__ = [
 ARTIFACT_SCHEMA_VERSION = 1
 """Bumped whenever the on-disk layout or the key composition changes."""
 
-RESULTS_SCHEMA_VERSION = 1
+RESULTS_SCHEMA_VERSION = 2
 """Bumped whenever the session-result schema or the fingerprint
-composition changes; baked into every results key."""
+composition changes; baked into every results key.
+
+v2: SegmentRecord gained ``edge_hit_mbit``; SweepContext gained
+``video_configs`` (per-video edge-cache models of the multi-tenant
+shared edge), both of which change what a cached result contains and
+what the context digest must cover."""
 
 ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles", "results")
 
@@ -288,6 +294,15 @@ def structural_fingerprint(obj: Any) -> Any:
         )
     if isinstance(obj, TileGrid):
         return grid_fingerprint(obj)
+    if isinstance(obj, EdgeHitModel):
+        # The trained per-segment hit ratios ARE the model: two models
+        # with equal ratios and edge rate produce identical sessions no
+        # matter which cache/population trained them.
+        return (
+            "edge-hit-model",
+            tuple(obj.hit_ratios),
+            obj.edge_bandwidth_mbps,
+        )
     if isinstance(obj, HeadTrace):
         return (
             "head-trace",

@@ -96,6 +96,10 @@ class SweepContext:
     ptiles: dict[int, list[SegmentPtiles]] = field(default_factory=dict)
     ftiles: dict[int, list[FtilePartition]] = field(default_factory=dict)
     config: SessionConfig = field(default_factory=SessionConfig)
+    # Per-video SessionConfig overrides (e.g. a contention-aware
+    # EdgeHitModel per tenant of a shared edge cache).  Resolution order
+    # per job: job.config, then video_configs[video_id], then config.
+    video_configs: dict[int, SessionConfig] = field(default_factory=dict)
 
     def slice(self, video_ids) -> "SweepContext":
         """A context restricted to the given videos.
@@ -109,7 +113,7 @@ class SweepContext:
         wanted = set(video_ids)
         keys = (
             set(self.manifests) | set(self.head_traces)
-            | set(self.ptiles) | set(self.ftiles)
+            | set(self.ptiles) | set(self.ftiles) | set(self.video_configs)
         )
         if keys <= wanted:
             return self
@@ -124,6 +128,9 @@ class SweepContext:
             ptiles={k: v for k, v in self.ptiles.items() if k in wanted},
             ftiles={k: v for k, v in self.ftiles.items() if k in wanted},
             config=self.config,
+            video_configs={
+                k: v for k, v in self.video_configs.items() if k in wanted
+            },
         )
 
     def run_job(self, job: SessionJob) -> SessionResult:
@@ -146,6 +153,11 @@ class SweepContext:
                 f"user index {job.user_index} outside 0..{len(heads) - 1}"
                 f" for video {job.video_id}"
             )
+        config = (
+            job.config
+            or self.video_configs.get(job.video_id)
+            or self.config
+        )
         return run_session(
             scheme,
             manifest,
@@ -154,7 +166,7 @@ class SweepContext:
             self.device,
             ptiles=self.ptiles.get(job.video_id) if job.use_ptiles else None,
             ftiles=self.ftiles.get(job.video_id) if job.use_ftiles else None,
-            config=job.config or self.config,
+            config=config,
         )
 
 

@@ -4,9 +4,13 @@ from .abr import ThroughputBufferABR
 from .buffer import BufferEvent, PlaybackBuffer
 from .cache import (
     CacheStats,
+    CacheTenant,
     EdgeCache,
     EdgeHitModel,
+    SharedCacheResult,
     build_edge_hit_model,
+    build_shared_edge_hit_models,
+    interleave_tenant_requests,
     ptile_vs_ctile_caching,
     simulate_cache,
 )
@@ -42,9 +46,13 @@ __all__ = [
     "BufferEvent",
     "PlaybackBuffer",
     "CacheStats",
+    "CacheTenant",
     "EdgeCache",
     "EdgeHitModel",
+    "SharedCacheResult",
     "build_edge_hit_model",
+    "build_shared_edge_hit_models",
+    "interleave_tenant_requests",
     "ptile_vs_ctile_caching",
     "simulate_cache",
     "TimelineEntry",

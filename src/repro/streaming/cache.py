@@ -11,6 +11,16 @@ traffic, while conventional tiling spreads requests over many
 :func:`simulate_cache` replays a request stream; and
 :func:`ptile_vs_ctile_caching` builds the two request streams from a
 video's viewing traces and compares hit ratios and backhaul traffic.
+
+Multi-tenant sharing: one physical edge serves viewer populations of
+*different* videos at once.  :class:`CacheTenant` names one video's
+population, :func:`interleave_tenant_requests` merges the populations
+into the segment-synchronous request stream the edge actually sees, and
+:func:`build_shared_edge_hit_models` replays that stream through a
+single capacity-bounded :class:`EdgeCache` to train contention-aware
+per-video :class:`EdgeHitModel`\\ s (tenants compete for the same bytes
+of capacity, so each video's hit ratios are lower than a private cache
+of the same size would give it).
 """
 
 from __future__ import annotations
@@ -25,7 +35,9 @@ from ..video.segments import VideoManifest
 from .schemes import LOWEST_QUALITY
 
 __all__ = ["CacheStats", "EdgeCache", "EdgeHitModel", "simulate_cache",
-           "build_edge_hit_model", "ptile_vs_ctile_caching"]
+           "build_edge_hit_model", "ptile_vs_ctile_caching",
+           "CacheTenant", "SharedCacheResult", "interleave_tenant_requests",
+           "build_shared_edge_hit_models"]
 
 
 @dataclass
@@ -147,6 +159,45 @@ def simulate_cache(
     return stats
 
 
+def _ctile_segment_requests(seg, traces, grid: TileGrid, quality: int,
+                            fov_deg: float):
+    """One segment's requests from a concurrent Ctile population."""
+    for trace in traces:
+        viewport = trace.viewport_at(
+            (seg.segment_index + 0.5) * 1.0, fov_deg
+        )
+        fov_tiles = grid.viewport_tiles(viewport)
+        for tile in sorted(fov_tiles):
+            key = ("tile", seg.segment_index, tile.row, tile.col, quality)
+            yield key, seg.tile_size_mbit(tile, quality)
+        # Background tiles at the lowest quality.
+        for tile in sorted(set(grid.tiles()) - fov_tiles):
+            key = ("tile", seg.segment_index, tile.row, tile.col,
+                   LOWEST_QUALITY)
+            yield key, seg.tile_size_mbit(tile, LOWEST_QUALITY)
+
+
+def _ptile_segment_requests(seg, sp: SegmentPtiles, traces, quality: int,
+                            fov_deg: float):
+    """One segment's requests from a concurrent Ptile population."""
+    for trace in traces:
+        viewport = trace.viewport_at(
+            (seg.segment_index + 0.5) * 1.0, fov_deg
+        )
+        ptile = sp.match(viewport)
+        if ptile is None:
+            continue  # falls back to Ctile; not counted here
+        key = ("ptile", seg.segment_index, ptile.index, quality)
+        yield key, seg.region_size_mbit(
+            ptile.region_key, ptile.area_fraction, quality
+        )
+        for block in sp.remainder_for(ptile):
+            key = ("rem", seg.segment_index, block.key, LOWEST_QUALITY)
+            yield key, seg.region_size_mbit(
+                block.key, block.area_fraction, LOWEST_QUALITY
+            )
+
+
 def _ctile_requests(
     manifest: VideoManifest,
     traces: list[HeadTrace],
@@ -161,19 +212,8 @@ def _ctile_requests(
     the temporal locality an edge cache actually sees.
     """
     for seg in manifest:
-        for trace in traces:
-            viewport = trace.viewport_at(
-                (seg.segment_index + 0.5) * 1.0, fov_deg
-            )
-            fov_tiles = grid.viewport_tiles(viewport)
-            for tile in sorted(fov_tiles):
-                key = ("tile", seg.segment_index, tile.row, tile.col, quality)
-                yield key, seg.tile_size_mbit(tile, quality)
-            # Background tiles at the lowest quality.
-            for tile in sorted(set(grid.tiles()) - fov_tiles):
-                key = ("tile", seg.segment_index, tile.row, tile.col,
-                       LOWEST_QUALITY)
-                yield key, seg.tile_size_mbit(tile, LOWEST_QUALITY)
+        yield from _ctile_segment_requests(seg, traces, grid, quality,
+                                           fov_deg)
 
 
 def _ptile_requests(
@@ -185,23 +225,9 @@ def _ptile_requests(
 ):
     """Ptile viewer population's requests, interleaved per segment."""
     for seg in manifest:
-        sp = ptiles[seg.segment_index]
-        for trace in traces:
-            viewport = trace.viewport_at(
-                (seg.segment_index + 0.5) * 1.0, fov_deg
-            )
-            ptile = sp.match(viewport)
-            if ptile is None:
-                continue  # falls back to Ctile; not counted here
-            key = ("ptile", seg.segment_index, ptile.index, quality)
-            yield key, seg.region_size_mbit(
-                ptile.region_key, ptile.area_fraction, quality
-            )
-            for block in sp.remainder_for(ptile):
-                key = ("rem", seg.segment_index, block.key, LOWEST_QUALITY)
-                yield key, seg.region_size_mbit(
-                    block.key, block.area_fraction, LOWEST_QUALITY
-                )
+        yield from _ptile_segment_requests(
+            seg, ptiles[seg.segment_index], traces, quality, fov_deg
+        )
 
 
 @dataclass(frozen=True)
@@ -227,10 +253,12 @@ class EdgeHitModel:
             raise ValueError("hit ratios must be in [0, 1]")
 
     def hit_ratio(self, segment_index: int) -> float:
-        """Byte hit ratio for one segment (last ratio past the end)."""
+        """Byte hit ratio for one segment, clamped to the trained range
+        (first ratio before index 0, last ratio past the end)."""
         if not self.hit_ratios:
             return 0.0
-        return self.hit_ratios[min(segment_index, len(self.hit_ratios) - 1)]
+        clamped = max(0, min(segment_index, len(self.hit_ratios) - 1))
+        return self.hit_ratios[clamped]
 
     @property
     def mean_hit_ratio(self) -> float:
@@ -276,6 +304,186 @@ def build_edge_hit_model(
     )
     return EdgeHitModel(
         hit_ratios=ratios, edge_bandwidth_mbps=edge_bandwidth_mbps
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant sharing: populations of different videos, one edge cache.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheTenant:
+    """One video's viewer population at a shared edge.
+
+    ``ptiles`` may be omitted for Ctile-only replays; the Ptile request
+    stream requires it.
+    """
+
+    video_id: int
+    manifest: VideoManifest
+    traces: tuple[HeadTrace, ...]
+    ptiles: list[SegmentPtiles] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "traces", tuple(self.traces))
+        if not self.traces:
+            raise ValueError(
+                f"tenant {self.video_id} needs at least one viewer"
+            )
+
+
+def interleave_tenant_requests(
+    tenants,
+    *,
+    scheme: str = "ptile",
+    quality: int = 3,
+    fov_deg: float = 100.0,
+):
+    """Merge tenant populations into one edge-side request stream.
+
+    The interleaving policy is segment-synchronous, viewer-interleaved
+    round-robin: all populations start playback together and advance in
+    lockstep, so in round ``k`` every tenant whose video still has a
+    segment ``k`` participates; within the round, *viewers* alternate
+    across tenants (viewer 0 of every tenant, then viewer 1, ...), each
+    issuing its full request burst for its segment.  Tenant populations
+    therefore genuinely compete for residency inside every round — a
+    tenant-contiguous interleave would let each population finish with
+    an object before the next tenant could evict it, hiding contention
+    entirely.  Tenants whose video has ended drop out of later rounds.
+
+    Keys are namespaced by video id, so objects of distinct videos can
+    never collide in the cache.  Yields ``(video_id, segment_index, key,
+    size_mbit)`` tuples.
+    """
+    tenants = tuple(tenants)
+    if scheme not in ("ptile", "ctile"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if scheme == "ptile":
+        missing = [t.video_id for t in tenants if t.ptiles is None]
+        if missing:
+            raise ValueError(
+                f"tenants {missing} have no Ptiles (required for the "
+                "ptile request stream)"
+            )
+    rounds = max((t.manifest.num_segments for t in tenants), default=0)
+    max_viewers = max((len(t.traces) for t in tenants), default=0)
+    for k in range(rounds):
+        for viewer in range(max_viewers):
+            for tenant in tenants:
+                if k >= tenant.manifest.num_segments:
+                    continue
+                if viewer >= len(tenant.traces):
+                    continue
+                seg = tenant.manifest[k]
+                viewers = (tenant.traces[viewer],)
+                if scheme == "ctile":
+                    stream = _ctile_segment_requests(
+                        seg, viewers, tenant.manifest.encoder.grid,
+                        quality, fov_deg,
+                    )
+                else:
+                    stream = _ptile_segment_requests(
+                        seg, tenant.ptiles[k], viewers, quality, fov_deg
+                    )
+                for key, size in stream:
+                    yield tenant.video_id, k, (tenant.video_id,) + key, size
+
+
+@dataclass
+class SharedCacheResult:
+    """Outcome of a multi-tenant replay through one edge cache.
+
+    ``models`` holds one contention-aware :class:`EdgeHitModel` per
+    tenant video — the per-segment byte hit ratios that video's viewers
+    experienced while every other tenant competed for the same capacity.
+    """
+
+    capacity_mbit: float
+    policy: str
+    scheme: str
+    models: dict[int, EdgeHitModel]
+    per_video: dict[int, CacheStats]
+    overall: CacheStats
+
+    @property
+    def mean_hit_ratio(self) -> float:
+        """Population-mean of the per-video model hit ratios."""
+        if not self.models:
+            return 0.0
+        ratios = [m.mean_hit_ratio for m in self.models.values()]
+        return sum(ratios) / len(ratios)
+
+
+def build_shared_edge_hit_models(
+    tenants,
+    *,
+    capacity_mbit: float = 2000.0,
+    quality: int = 3,
+    fov_deg: float = 100.0,
+    policy: str = "lru",
+    edge_bandwidth_mbps: float = 200.0,
+    scheme: str = "ptile",
+) -> SharedCacheResult:
+    """Train contention-aware per-video hit models at a shared edge.
+
+    The interleaved request stream of every tenant population (see
+    :func:`interleave_tenant_requests`) replays through **one**
+    capacity-bounded :class:`EdgeCache`; per (video, segment) the
+    requested and cache-served bytes are tallied, so each video's
+    :class:`EdgeHitModel` reflects the capacity its objects actually won
+    against the other tenants — unlike :func:`build_edge_hit_model`,
+    which gives every video a private cache.  Deterministic for a fixed
+    tenant tuple, so downstream sessions and their cached results stay
+    reproducible.
+    """
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    ids = [t.video_id for t in tenants]
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate tenant video ids {sorted(ids)}")
+
+    requested = {t.video_id: [0.0] * t.manifest.num_segments for t in tenants}
+    hit = {t.video_id: [0.0] * t.manifest.num_segments for t in tenants}
+    per_video = {t.video_id: CacheStats() for t in tenants}
+    overall = CacheStats()
+    cache = EdgeCache(capacity_mbit=capacity_mbit, policy=policy)
+    for video_id, seg_index, key, size in interleave_tenant_requests(
+        tenants, scheme=scheme, quality=quality, fov_deg=fov_deg
+    ):
+        stats = per_video[video_id]
+        stats.requests += 1
+        stats.bytes_requested_mbit += size
+        overall.requests += 1
+        overall.bytes_requested_mbit += size
+        requested[video_id][seg_index] += size
+        if cache.request(key, size):
+            stats.hits += 1
+            overall.hits += 1
+            hit[video_id][seg_index] += size
+        else:
+            stats.bytes_backhaul_mbit += size
+            overall.bytes_backhaul_mbit += size
+
+    models = {
+        video_id: EdgeHitModel(
+            hit_ratios=tuple(
+                h / r if r > 0 else 0.0
+                for h, r in zip(hit[video_id], requested[video_id])
+            ),
+            edge_bandwidth_mbps=edge_bandwidth_mbps,
+        )
+        for video_id in requested
+    }
+    return SharedCacheResult(
+        capacity_mbit=capacity_mbit,
+        policy=policy,
+        scheme=scheme,
+        models=models,
+        per_video=per_video,
+        overall=overall,
     )
 
 

@@ -38,6 +38,9 @@ class SegmentRecord:
     energy: SegmentEnergy
     decode_scheme: TilingScheme
     used_ptile: bool
+    # Bytes of this segment served by the edge cache (0 without an
+    # attached EdgeHitModel); the miss remainder crossed the backhaul.
+    edge_hit_mbit: float = 0.0
 
 
 @dataclass
@@ -126,6 +129,23 @@ class SessionResult:
     def ptile_hit_rate(self) -> float:
         self._require_records()
         return float(np.mean([r.used_ptile for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # Edge cache
+    # ------------------------------------------------------------------
+
+    @property
+    def total_edge_hit_mbit(self) -> float:
+        """Bytes the edge cache served across the whole session."""
+        return sum(r.edge_hit_mbit for r in self.records)
+
+    @property
+    def edge_hit_fraction(self) -> float:
+        """Fraction of downloaded bytes served at the edge."""
+        total = sum(r.size_mbit for r in self.records)
+        if total <= 0:
+            return 0.0
+        return self.total_edge_hit_mbit / total
 
     def _require_records(self) -> None:
         if not self.records:

@@ -16,16 +16,17 @@ simulator; only the bandwidth each client sees changes round to round.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..power.models import DevicePowerModel
 from ..traces.network import NetworkTrace
+from .cache import EdgeHitModel
 from .metrics import SessionResult
 from .session import SessionConfig, run_session
 
-__all__ = ["SharedLinkResult", "run_shared_link"]
+__all__ = ["SharedLinkResult", "run_shared_link", "capacity_sweep"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,7 @@ def run_shared_link(
     ptiles=None,
     ftiles=None,
     config: SessionConfig = SessionConfig(),
+    edge_model: EdgeHitModel | None = None,
 ) -> SharedLinkResult:
     """Simulate N clients sharing one bottleneck link.
 
@@ -73,12 +75,20 @@ def run_shared_link(
     some idle at their buffer cap (their unused share is not
     redistributed, matching the pessimistic end of TCP fairness).
 
+    ``edge_model`` attaches a shared edge cache in front of the link:
+    every client serves the modelled hit fraction of each segment at the
+    edge rate and only misses cross the fair-share trace (see
+    :func:`~repro.streaming.cache.build_shared_edge_hit_models` for the
+    multi-tenant training that produces contention-aware models).
+
     Returns per-client session results computed against the fair-share
     trace.
     """
     n = len(head_traces)
     if n < 1:
         raise ValueError("need at least one client")
+    if edge_model is not None:
+        config = replace(config, edge_model=edge_model)
     fair = network.scaled(1.0 / n, name=f"{network.name}/{n}")
     results = []
     for head in head_traces:
@@ -110,9 +120,16 @@ def capacity_sweep(
     ptiles=None,
     ftiles=None,
     config: SessionConfig = SessionConfig(),
+    edge_model: EdgeHitModel | None = None,
 ) -> dict[int, SharedLinkResult]:
-    """How quality and stalls degrade as more clients share the cell."""
+    """How quality and stalls degrade as more clients share the cell.
+
+    ``edge_model`` is forwarded to every :func:`run_shared_link` call,
+    so the sweep's clients share the edge cache as well as the link.
+    """
     available = list(head_traces)
+    if not available:
+        raise ValueError("need at least one head trace")
     results: dict[int, SharedLinkResult] = {}
     for count in client_counts:
         if count < 1:
@@ -121,5 +138,6 @@ def capacity_sweep(
         results[count] = run_shared_link(
             scheme_factory, manifest, chosen, network, device,
             ptiles=ptiles, ftiles=ftiles, config=config,
+            edge_model=edge_model,
         )
     return results

@@ -181,13 +181,14 @@ def run_session(
         if config.edge_model is not None:
             # Split the download: edge-cached bytes arrive at the edge
             # link rate, only the miss fraction crosses the backhaul.
-            hit_mbit = plan.total_size_mbit * config.edge_model.hit_ratio(k)
-            miss_mbit = plan.total_size_mbit - hit_mbit
+            edge_hit_mbit = plan.total_size_mbit * config.edge_model.hit_ratio(k)
+            miss_mbit = plan.total_size_mbit - edge_hit_mbit
             download_time = (
                 network.download_time(miss_mbit, wall_t)
-                + hit_mbit / config.edge_model.edge_bandwidth_mbps
+                + edge_hit_mbit / config.edge_model.edge_bandwidth_mbps
             )
         else:
+            edge_hit_mbit = 0.0
             download_time = network.download_time(plan.total_size_mbit, wall_t)
         if download_time > 0:
             bandwidth.add(plan.total_size_mbit / download_time)
@@ -256,6 +257,7 @@ def run_session(
                 energy=energy,
                 decode_scheme=plan.decode_scheme,
                 used_ptile=plan.used_ptile,
+                edge_hit_mbit=edge_hit_mbit,
             )
         )
     return result

@@ -41,6 +41,31 @@ class TestParser:
         args = parser.parse_args(["fig9", "--no-artifact-cache"])
         assert args.no_artifact_cache
 
+    def test_shared_cache_flag_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["shared-cache"])
+        assert args.cache_capacities == "0,500,2000,8000"
+        assert args.cache_policy == "lru"
+        assert args.tenant_videos == "5,8"
+        assert args.tenant_viewers == 8
+
+    def test_shared_cache_flag_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "shared-cache", "--cache-capacities", "0,300.5",
+            "--cache-policy", "lfu", "--tenant-videos", "2,8",
+            "--tenant-viewers", "4",
+        ])
+        assert args.cache_capacities == "0,300.5"
+        assert args.cache_policy == "lfu"
+        assert args.tenant_videos == "2,8"
+        assert args.tenant_viewers == 4
+
+    def test_invalid_cache_policy_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["shared-cache", "--cache-policy", "fifo"])
+
 
 class TestMain:
     def test_table1(self, capsys):
@@ -93,3 +118,28 @@ class TestMain:
         out = capsys.readouterr().out
         assert "oversized-cluster" in out
         assert "with bound: 2" in out
+
+    def test_shared_cache_tiny(self, capsys):
+        assert main([
+            "shared-cache", "--duration", "12", "--users", "1",
+            "--tenant-viewers", "3", "--cache-capacities", "0,300",
+            "--tenant-videos", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shared edge cache (lru, 1 tenant video(s))" in out
+        assert "no edge cache" in out
+        assert "shared=300Mb" in out
+
+    def test_shared_cache_bad_capacities(self):
+        with pytest.raises(SystemExit):
+            main(["shared-cache", "--cache-capacities", "abc"])
+        with pytest.raises(SystemExit):
+            main(["shared-cache", "--cache-capacities", "-5"])
+        with pytest.raises(SystemExit):
+            main(["shared-cache", "--cache-capacities", ","])
+
+    def test_shared_cache_bad_tenants(self):
+        with pytest.raises(SystemExit):
+            main(["shared-cache", "--tenant-videos", "2.5"])
+        with pytest.raises(SystemExit):
+            main(["shared-cache", "--tenant-viewers", "0"])

@@ -10,6 +10,7 @@ from repro.experiments import (
     make_setup,
     sweep_clustering_sigma,
     sweep_edge_cache,
+    sweep_shared_cache,
 )
 
 
@@ -17,6 +18,12 @@ from repro.experiments import (
 def tiny_setup():
     return make_setup(max_duration_s=15, n_users=16, n_train=12,
                       video_ids=(8,))
+
+
+@pytest.fixture(scope="module")
+def two_video_setup():
+    return make_setup(max_duration_s=15, n_users=16, n_train=12,
+                      video_ids=(2, 8))
 
 
 class TestAblationPoint:
@@ -117,6 +124,72 @@ class TestEdgeCacheSweep:
             (p.label, p.energy_per_segment_j, p.qoe, p.extra["stall"])
             for p in again
         ]
+
+
+def _point_signature(points):
+    return [
+        (p.label, p.energy_per_segment_j, p.qoe, p.rebuffer_count, p.extra)
+        for p in points
+    ]
+
+
+class TestSharedCacheSweep:
+    def test_points_and_labels(self, two_video_setup):
+        points = sweep_shared_cache(
+            two_video_setup, capacities_mbit=(0.0, 500.0), users=1,
+            tenant_viewers=6,
+        )
+        assert len(points) == 2
+        assert points[0].label == "no edge cache"
+        assert points[0].extra["hit"] == 0.0
+        assert points[0].extra["edge_frac"] == 0.0
+        assert points[1].label == "shared=500Mb"
+        assert points[1].extra["hit"] > 0.0
+        assert points[1].extra["edge_frac"] > 0.0
+        for point in points:
+            assert point.energy_per_segment_j > 0.0
+
+    def test_ptile_beats_ctile_on_default_catalog(self, two_video_setup):
+        # The extension's deployment argument, now under contention:
+        # with every tenant of the setup's catalog competing for the
+        # same cache, Ptile's fewer, larger objects still serve a
+        # larger byte fraction from the edge than Ctile's.
+        points = sweep_shared_cache(
+            two_video_setup, capacities_mbit=(500.0,), users=1,
+            tenant_viewers=6,
+        )
+        assert (
+            points[0].extra["ptile_byte_hit"]
+            > points[0].extra["ctile_byte_hit"]
+        )
+
+    def test_serial_parallel_and_cache_states_identical(
+        self, two_video_setup, tmp_path
+    ):
+        from repro.experiments import ArtifactStore
+
+        kwargs = dict(capacities_mbit=(0.0, 500.0), users=1,
+                      tenant_viewers=6)
+        off = sweep_shared_cache(two_video_setup, **kwargs)
+        pooled = sweep_shared_cache(two_video_setup, workers=2, **kwargs)
+        cold = sweep_shared_cache(
+            two_video_setup, results=ArtifactStore(tmp_path), **kwargs
+        )
+        warm_store = ArtifactStore(tmp_path)
+        warm = sweep_shared_cache(
+            two_video_setup, results=warm_store, **kwargs
+        )
+        assert warm_store.stats.misses.get("results") is None
+        assert (
+            _point_signature(off)
+            == _point_signature(pooled)
+            == _point_signature(cold)
+            == _point_signature(warm)
+        )
+
+    def test_requires_tenant_videos(self, two_video_setup):
+        with pytest.raises(ValueError):
+            sweep_shared_cache(two_video_setup, video_ids=())
 
 
 class TestRenderedViewSupply:

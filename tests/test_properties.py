@@ -270,3 +270,53 @@ class TestCacheProperties:
         stats = simulate_cache(requests, capacity_mbit=3.0)
         assert stats.bytes_backhaul_mbit <= stats.bytes_requested_mbit + 1e-9
         assert 0 <= stats.hits <= stats.requests
+
+    # A small key pool with widely varying sizes: the same key is
+    # frequently re-requested at a different size, exercising the
+    # stale-size re-admission path (grow-to-evict, shrink, drop when
+    # the new size no longer fits).
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.floats(0.0, 4.0)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.floats(1.0, 8.0),
+        st.sampled_from(["lru", "lfu"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_consistent_under_resizes(
+        self, requests, capacity, policy
+    ):
+        from repro.streaming import EdgeCache
+
+        cache = EdgeCache(capacity_mbit=capacity, policy=policy)
+        for key, size in requests:
+            cache.request(key, size)
+            # used_mbit is exactly the sum of resident object sizes.
+            assert cache.used_mbit == pytest_approx(
+                sum(cache._objects.values()), rel=1e-9, abs=1e-9
+            )
+            assert cache.used_mbit <= capacity + 1e-9
+            # The frequency table tracks resident objects only.
+            assert set(cache._frequency) <= set(cache._objects)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.floats(0.0, 4.0)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.floats(1.0, 8.0),
+        st.sampled_from(["lru", "lfu"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stats_ratios_bounded(self, requests, capacity, policy):
+        from repro.streaming import simulate_cache
+
+        stats = simulate_cache(
+            requests, capacity_mbit=capacity, policy=policy
+        )
+        assert 0.0 <= stats.hit_ratio <= 1.0
+        assert 0.0 <= stats.byte_hit_ratio <= 1.0
+        assert stats.requests == len(requests)

@@ -31,6 +31,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.setup import ExperimentSetup
 from repro.power import GALAXY_S20
+from repro.streaming import EdgeHitModel
 from repro.streaming.session import SessionConfig
 from repro.video import EncoderModel
 
@@ -181,6 +182,67 @@ class TestInvalidation:
             sweep_context, config=SessionConfig(horizon=3)
         )
         assert sweep_context_digest(other_config) != base
+
+    def test_context_digest_sensitive_to_video_configs(self, sweep_context):
+        base = sweep_context_digest(sweep_context)
+        model = EdgeHitModel(hit_ratios=(0.5, 0.5))
+        with_edge = dataclasses.replace(
+            sweep_context,
+            video_configs={2: SessionConfig(edge_model=model)},
+        )
+        assert sweep_context_digest(with_edge) != base
+        # The digest must see *into* the per-video edge model, not just
+        # its presence: different hit ratios → different key.
+        other_model = dataclasses.replace(model, hit_ratios=(0.9, 0.9))
+        other_edge = dataclasses.replace(
+            sweep_context,
+            video_configs={2: SessionConfig(edge_model=other_model)},
+        )
+        assert sweep_context_digest(other_edge) != sweep_context_digest(
+            with_edge
+        )
+
+    def test_slice_drops_other_videos_configs(self, sweep_context):
+        # A video-8 override must not perturb keys of a video-2 batch.
+        wide = dataclasses.replace(
+            sweep_context,
+            video_configs={
+                8: SessionConfig(edge_model=EdgeHitModel(hit_ratios=(1.0,)))
+            },
+        )
+        assert sweep_context_digest(wide.slice({2})) == sweep_context_digest(
+            sweep_context
+        )
+
+    def test_video_config_overrides_are_cached_separately(
+        self, sweep_context, tmp_path
+    ):
+        jobs = make_jobs(schemes=("ctile",), users=1)
+        store = ArtifactStore(tmp_path)
+        plain = run_session_jobs(sweep_context, jobs, workers=1,
+                                 results=store)
+
+        model = EdgeHitModel(hit_ratios=(0.8,) * 8)
+        edged_context = dataclasses.replace(
+            sweep_context,
+            video_configs={
+                2: dataclasses.replace(
+                    sweep_context.config, edge_model=model
+                )
+            },
+        )
+        edged = run_session_jobs(edged_context, jobs, workers=1,
+                                 results=ArtifactStore(tmp_path))
+        assert edged.cache_hits == 0  # distinct key, no false hit
+        assert session_signature(edged.results[0]) != session_signature(
+            plain.results[0]
+        )
+        warm = run_session_jobs(edged_context, jobs, workers=1,
+                                results=ArtifactStore(tmp_path))
+        assert warm.cache_hits == len(jobs)
+        assert [session_signature(r) for r in warm.results] == [
+            session_signature(r) for r in edged.results
+        ]
 
     def test_context_digest_stable_across_slicing(self, sweep_context,
                                                   manifest8, small_dataset):

@@ -4,9 +4,13 @@ import pytest
 
 from repro.streaming import (
     CacheStats,
+    CacheTenant,
     EdgeCache,
     EdgeHitModel,
+    SharedCacheResult,
     build_edge_hit_model,
+    build_shared_edge_hit_models,
+    interleave_tenant_requests,
     ptile_vs_ctile_caching,
     simulate_cache,
 )
@@ -178,6 +182,14 @@ class TestEdgeHitModel:
         assert model.hit_ratio(2) == 0.6
         assert model.hit_ratio(99) == 0.6  # last ratio past the end
 
+    def test_hit_ratio_clamps_negative_index(self):
+        model = EdgeHitModel(hit_ratios=(0.2, 0.4, 0.6))
+        assert model.hit_ratio(-5) == 0.2
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeHitModel(hit_ratios=(0.5,), edge_bandwidth_mbps=-10.0)
+
     def test_empty_model_never_hits(self):
         model = EdgeHitModel(hit_ratios=())
         assert model.hit_ratio(0) == 0.0
@@ -226,3 +238,111 @@ class TestBuildEdgeHitModel:
     def test_requires_viewers(self, manifest2, ptiles2):
         with pytest.raises(ValueError):
             build_edge_hit_model(manifest2, [], ptiles2)
+
+
+class TestSharedEdgeCache:
+    @pytest.fixture(scope="class")
+    def tenants(self, manifest2, manifest8, small_dataset, ptiles2, ptiles8):
+        return [
+            CacheTenant(2, manifest2, small_dataset.traces[2][:6], ptiles2),
+            CacheTenant(8, manifest8, small_dataset.traces[8][:6], ptiles8),
+        ]
+
+    @pytest.fixture(scope="class")
+    def shared(self, tenants):
+        return build_shared_edge_hit_models(tenants, capacity_mbit=2000.0)
+
+    def test_one_model_per_video_in_bounds(self, shared, tenants):
+        assert isinstance(shared, SharedCacheResult)
+        assert set(shared.models) == {2, 8}
+        for tenant in tenants:
+            ratios = shared.models[tenant.video_id].hit_ratios
+            assert len(ratios) == tenant.manifest.num_segments
+            assert all(0.0 <= r <= 1.0 for r in ratios)
+
+    def test_per_video_stats_sum_to_overall(self, shared):
+        assert shared.overall.requests == sum(
+            s.requests for s in shared.per_video.values()
+        )
+        assert shared.overall.hits == sum(
+            s.hits for s in shared.per_video.values()
+        )
+        assert 0.0 <= shared.overall.hit_ratio <= 1.0
+        assert 0.0 <= shared.overall.byte_hit_ratio <= 1.0
+
+    def test_deterministic(self, shared, tenants):
+        again = build_shared_edge_hit_models(tenants, capacity_mbit=2000.0)
+        assert again.models == shared.models
+        assert again.overall == shared.overall
+
+    def test_huge_capacity_matches_private_caches(
+        self, tenants, manifest2, manifest8, small_dataset, ptiles2, ptiles8
+    ):
+        # With effectively infinite capacity tenants cannot evict each
+        # other, so the shared cache degenerates to private caches.
+        shared = build_shared_edge_hit_models(tenants, capacity_mbit=1e9)
+        private2 = build_edge_hit_model(
+            manifest2, small_dataset.traces[2][:6], ptiles2,
+            capacity_mbit=1e9,
+        )
+        private8 = build_edge_hit_model(
+            manifest8, small_dataset.traces[8][:6], ptiles8,
+            capacity_mbit=1e9,
+        )
+        assert shared.models[2].hit_ratios == private2.hit_ratios
+        assert shared.models[8].hit_ratios == private8.hit_ratios
+
+    def test_contention_lowers_hit_ratio(self, tenants):
+        tiny = build_shared_edge_hit_models(tenants, capacity_mbit=2.0)
+        huge = build_shared_edge_hit_models(tenants, capacity_mbit=1e9)
+        assert tiny.mean_hit_ratio <= huge.mean_hit_ratio
+
+    def test_ptile_beats_ctile_byte_hit(self, tenants):
+        ptile = build_shared_edge_hit_models(
+            tenants, capacity_mbit=50.0, scheme="ptile"
+        )
+        ctile = build_shared_edge_hit_models(
+            tenants, capacity_mbit=50.0, scheme="ctile"
+        )
+        assert (
+            ptile.overall.byte_hit_ratio >= ctile.overall.byte_hit_ratio
+        )
+
+    def test_ctile_scheme_supported(self, tenants):
+        result = build_shared_edge_hit_models(
+            tenants, capacity_mbit=500.0, scheme="ctile"
+        )
+        assert result.scheme == "ctile"
+        assert result.overall.requests > 0
+
+    def test_validation(self, tenants, manifest2, small_dataset):
+        with pytest.raises(ValueError, match="tenant"):
+            build_shared_edge_hit_models([])
+        with pytest.raises(ValueError, match="duplicate"):
+            build_shared_edge_hit_models([tenants[0], tenants[0]])
+        no_ptiles = CacheTenant(2, manifest2, small_dataset.traces[2][:2])
+        with pytest.raises(ValueError, match="ptile"):
+            build_shared_edge_hit_models([no_ptiles])
+        with pytest.raises(ValueError, match="scheme"):
+            build_shared_edge_hit_models(tenants, scheme="fifo")
+        with pytest.raises(ValueError, match="viewer"):
+            CacheTenant(2, manifest2, ())
+
+    def test_interleaver_namespaces_and_alternates(self, tenants):
+        stream = list(
+            interleave_tenant_requests(tenants, scheme="ptile")
+        )
+        assert stream
+        segments = [seg for _, seg, _, _ in stream]
+        assert segments == sorted(segments)  # segment-synchronous rounds
+        for video_id, _, key, size in stream:
+            assert key[0] == video_id  # namespaced: no cross-video clash
+            assert size >= 0.0
+        # Within the first round the tenants must alternate at viewer
+        # granularity, not stream one whole population contiguously —
+        # otherwise contention is invisible to the cache.
+        round0 = [vid for vid, seg, _, _ in stream if seg == 0]
+        changes = sum(
+            1 for a, b in zip(round0, round0[1:]) if a != b
+        )
+        assert changes > 2

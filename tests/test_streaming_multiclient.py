@@ -1,9 +1,12 @@
 """Unit tests for the shared-bottleneck multi-client simulation."""
 
+import pickle
+
 import pytest
 
 from repro.streaming import (
     CtileScheme,
+    EdgeHitModel,
     PtileScheme,
     SessionConfig,
     capacity_sweep,
@@ -110,3 +113,88 @@ class TestCapacitySweep:
                 CtileScheme, manifest2, small_dataset.test_traces(2),
                 network_traces[1], device, client_counts=(0,),
             )
+
+    def test_empty_head_traces_raise_clear_error(
+        self, manifest2, network_traces, device
+    ):
+        """Regression: used to crash with ZeroDivisionError on
+        ``available[i % len(available)]`` for empty head traces."""
+        with pytest.raises(ValueError, match="head trace"):
+            capacity_sweep(
+                CtileScheme, manifest2, [], network_traces[1], device,
+            )
+
+
+class TestSharedEdgeCacheWiring:
+    def test_edge_model_recorded_per_segment(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        heads = small_dataset.test_traces(2)[:2]
+        model = EdgeHitModel(hit_ratios=(0.5,) * manifest2.num_segments)
+        shared = run_shared_link(
+            CtileScheme, manifest2, heads, network_traces[1], device,
+            config=short_config, edge_model=model,
+        )
+        for result in shared.per_client:
+            assert result.total_edge_hit_mbit > 0
+            assert result.edge_hit_fraction == pytest.approx(0.5)
+
+    def test_edge_model_threaded_through_capacity_sweep(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        heads = small_dataset.test_traces(2)[:2]
+        model = EdgeHitModel(hit_ratios=(1.0,), edge_bandwidth_mbps=1e6)
+        results = capacity_sweep(
+            CtileScheme, manifest2, heads, network_traces[0], device,
+            client_counts=(4,), config=short_config, edge_model=model,
+        )
+        # Full hits at a near-infinite edge rate: downloads are
+        # effectively instantaneous, so nothing can stall post-startup
+        # no matter how many clients share the backhaul.
+        assert results[4].total_rebuffers == 0
+        for result in results[4].per_client:
+            assert result.edge_hit_fraction == pytest.approx(1.0)
+
+    def test_no_edge_model_records_zero(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        head = small_dataset.test_traces(2)[0]
+        shared = run_shared_link(
+            CtileScheme, manifest2, [head], network_traces[1], device,
+            config=short_config,
+        )
+        assert shared.per_client[0].total_edge_hit_mbit == 0.0
+        assert shared.per_client[0].edge_hit_fraction == 0.0
+
+
+class TestSharedLinkDeterminism:
+    def _run(self, small_dataset, manifest2, network_traces, device,
+             short_config, edge_model=None):
+        heads = small_dataset.test_traces(2)[:3]
+        return run_shared_link(
+            CtileScheme, manifest2, heads, network_traces[1], device,
+            config=short_config, edge_model=edge_model,
+        )
+
+    def test_repeated_runs_byte_identical(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        first = self._run(small_dataset, manifest2, network_traces, device,
+                          short_config)
+        second = self._run(small_dataset, manifest2, network_traces, device,
+                           short_config)
+        assert pickle.dumps(first.per_client) == pickle.dumps(
+            second.per_client
+        )
+
+    def test_repeated_edge_cache_runs_byte_identical(
+        self, small_dataset, manifest2, network_traces, device, short_config
+    ):
+        model = EdgeHitModel(hit_ratios=(0.7,) * manifest2.num_segments)
+        first = self._run(small_dataset, manifest2, network_traces, device,
+                          short_config, edge_model=model)
+        second = self._run(small_dataset, manifest2, network_traces, device,
+                           short_config, edge_model=model)
+        assert pickle.dumps(first.per_client) == pickle.dumps(
+            second.per_client
+        )
