@@ -23,6 +23,11 @@ Two kinds of metric, with deliberately different strictness:
   when they drop below a generous fraction of the recorded baseline,
   catching order-of-magnitude regressions without flaking on slow
   runners.
+
+* **Overhead metrics** (``ceiling``) — same-machine cost ratios that
+  must stay *small*, such as the resilient download engine's wall-time
+  overhead relative to the legacy faults-off path.  Scale-invariant
+  like the floors, so they get a hard ceiling.
 """
 
 from __future__ import annotations
@@ -75,6 +80,9 @@ def extract_metrics(report: dict) -> dict[str, float]:
             report, "test_shared_cache_training_throughput",
             "requests_per_second"
         ),
+        "resilience_overhead_ratio": _extra(
+            report, "test_resilience_layer_overhead", "overhead_ratio"
+        ),
     }
 
 
@@ -101,8 +109,17 @@ def check(metrics: dict[str, float], baseline: dict) -> list[str]:
                     f" of baseline {spec['baseline']:.3f}"
                     f" (threshold {threshold:.3f})"
                 )
+        elif "ceiling" in spec:
+            threshold = float(spec["ceiling"])
+            if value > threshold:
+                failures.append(
+                    f"{name}: {value:.3f} above hard ceiling {threshold:.3f}"
+                    f" (baseline {spec['baseline']:.3f})"
+                )
         else:
-            failures.append(f"{name}: baseline entry has no floor/min_fraction")
+            failures.append(
+                f"{name}: baseline entry has no floor/min_fraction/ceiling"
+            )
     return failures
 
 

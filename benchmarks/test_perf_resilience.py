@@ -1,0 +1,88 @@
+"""Resilience-layer overhead benchmark.
+
+Gates the PR-level guarantee: with faults disabled, the resilient
+download engine (idle :class:`FaultPlan` + a no-retry, effectively
+deadline-free :class:`DownloadPolicy`) must reproduce the legacy
+session byte for byte while costing at most ~10% extra wall time.
+The measured overhead ratio lands in ``extra_info`` for the CI
+regression gate (``baseline.json`` holds the 1.10 ceiling).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.power import PIXEL_3
+from repro.resilience import DownloadPolicy, FaultPlan
+from repro.streaming import PtileScheme, run_session
+
+from conftest import bench_users, shared_setup
+
+
+def _session_inputs():
+    setup = shared_setup()
+    vid = setup.videos[0].meta.video_id
+    manifest = setup.manifest(vid)
+    ptiles = setup.ptiles(vid)
+    heads = setup.dataset.test_traces(vid)[: bench_users()]
+    return setup, manifest, ptiles, heads
+
+
+_ROUNDS = 3
+
+
+def _run_all(scheme, manifest, ptiles, heads, trace, config):
+    return [
+        run_session(
+            scheme, manifest, head, trace, PIXEL_3,
+            config=config, ptiles=ptiles,
+        )
+        for head in heads
+    ]
+
+
+def test_resilience_layer_overhead(benchmark):
+    setup, manifest, ptiles, heads = _session_inputs()
+    scheme = PtileScheme()
+    legacy_config = setup.session_config
+    # Benign resilient config: the engine runs on every segment but an
+    # idle plan plus a zero-retry, deadline-free policy makes each
+    # download a single clean attempt — results must match exactly.
+    benign_config = replace(
+        legacy_config,
+        fault_plan=FaultPlan(),
+        download_policy=DownloadPolicy(retry_budget=0, timeout_slack_s=1e9),
+    )
+
+    # Warm shared memos (plan tables, trace integrals) outside the
+    # timed regions so both variants see identical cache state.
+    _run_all(scheme, manifest, ptiles, heads, setup.trace2, legacy_config)
+
+    # Min-of-rounds on both sides: the overhead gate compares two
+    # sub-100ms regions, so a single noisy round would dominate the
+    # ratio.  The minimum is the cleanest estimate of intrinsic cost.
+    legacy = None
+    legacy_s = float("inf")
+    for _ in range(_ROUNDS):
+        t0 = time.perf_counter()
+        legacy = _run_all(
+            scheme, manifest, ptiles, heads, setup.trace2, legacy_config
+        )
+        legacy_s = min(legacy_s, time.perf_counter() - t0)
+
+    resilient = benchmark.pedantic(
+        _run_all,
+        args=(scheme, manifest, ptiles, heads, setup.trace2, benign_config),
+        rounds=_ROUNDS,
+        iterations=1,
+    )
+    resilient_s = benchmark.stats["min"]
+
+    assert resilient == legacy, (
+        "benign resilient sessions diverged from the legacy path"
+    )
+    ratio = resilient_s / legacy_s if legacy_s > 0 else float("inf")
+    benchmark.extra_info["legacy_s"] = legacy_s
+    benchmark.extra_info["resilient_s"] = resilient_s
+    benchmark.extra_info["overhead_ratio"] = ratio

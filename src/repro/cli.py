@@ -56,7 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "table1", "table2", "table3",
             "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "ablation", "shared-cache", "report", "all",
+            "fig10", "fig11", "ablation", "shared-cache", "resilience",
+            "report", "all",
         ],
         help="which table/figure to regenerate",
     )
@@ -76,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2017, help="dataset seed"
     )
     parser.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_workers_arg, default=1,
         help="worker processes for session sweeps (1 = serial,"
              " 0 = auto-detect CPUs); results are identical either way",
     )
@@ -129,7 +130,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="training viewers per tenant video in the shared-cache "
              "population (shared-cache experiment)",
     )
+    parser.add_argument(
+        "--fault-profile", metavar="NAME[,NAME...]",
+        default="none,outages,collapse,lossy,stress",
+        help="fault profiles to sweep, comma-separated (resilience "
+             "experiment); 'none' runs the ideal fault-free path",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed of the deterministic fault plans (resilience "
+             "experiment); a fixed (profile, seed) pair always yields "
+             "byte-identical sessions",
+    )
+    parser.add_argument(
+        "--retry-budget", type=int, default=2,
+        help="download attempts beyond the first per segment before "
+             "degrading to a skip (resilience experiment)",
+    )
+    parser.add_argument(
+        "--timeout-slack", type=float, default=0.75,
+        help="seconds past the playback deadline a segment fetch may "
+             "run before being aborted (resilience experiment)",
+    )
     return parser
+
+
+def _workers_arg(raw: str) -> int:
+    """Validate ``--workers`` at parse time with an actionable message
+    instead of failing deep inside the process pool."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {raw!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"{value} is not a valid worker count: pass a positive "
+            "number of worker processes, or 0 to auto-detect CPUs"
+        )
+    return value
 
 
 def _parse_csv(raw: str, convert, flag: str, parser) -> tuple:
@@ -225,6 +265,27 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
               f" {len(videos)} tenant video(s)) --")
         for point in points:
             print(point.report())
+    elif name == "resilience":
+        from .experiments import sweep_resilience
+
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           video_ids=(8,),
+                           artifacts=_artifact_store(args))
+        points = sweep_resilience(
+            setup,
+            profiles=args.fault_profiles_parsed,
+            users=args.users,
+            fault_seed=args.fault_seed,
+            retry_budget=args.retry_budget,
+            timeout_slack_s=args.timeout_slack,
+            workers=args.workers,
+            results=_results_store(args),
+        )
+        print(f"-- resilience (seed {args.fault_seed}, "
+              f"retry budget {args.retry_budget}, "
+              f"timeout slack {args.timeout_slack:g}s) --")
+        for point in points:
+            print(point.report())
     elif name == "ablation":
         from .experiments import (
             make_setup as _make_setup,
@@ -311,8 +372,6 @@ def main(argv: list[str] | None = None) -> int:
 def _main(argv: list[str] | None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.workers < 0:
-        parser.error("--workers must be >= 0 (0 = auto-detect)")
     if args.tenant_viewers < 1:
         parser.error("--tenant-viewers must be >= 1")
     args.cache_capacities_parsed = _parse_csv(
@@ -323,6 +382,23 @@ def _main(argv: list[str] | None) -> int:
     )
     if any(c < 0 for c in args.cache_capacities_parsed):
         parser.error("--cache-capacities must be non-negative")
+    args.fault_profiles_parsed = _parse_csv(
+        args.fault_profile, str.strip, "--fault-profile", parser
+    )
+    from .resilience.faults import FAULT_PROFILES
+
+    unknown_profiles = [
+        p for p in args.fault_profiles_parsed if p not in FAULT_PROFILES
+    ]
+    if unknown_profiles:
+        parser.error(
+            f"unknown fault profile(s) {', '.join(map(repr, unknown_profiles))}; "
+            f"available: {', '.join(sorted(FAULT_PROFILES))}"
+        )
+    if args.retry_budget < 0:
+        parser.error("--retry-budget must be >= 0 (0 = no retries)")
+    if args.timeout_slack < 0:
+        parser.error("--timeout-slack must be >= 0 seconds")
     if args.experiment == "all":
         names = [
             "table1", "table2", "table3",

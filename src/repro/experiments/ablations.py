@@ -32,12 +32,15 @@ from ..prediction.bandwidth import (
 )
 from ..ptile.construction import PtileConfig, build_video_ptiles
 from ..ptile.coverage import coverage_stats
+from ..resilience.faults import generate_fault_plan
+from ..resilience.policy import DownloadPolicy
 from ..streaming.cache import (
     CacheTenant,
     build_edge_hit_model,
     build_shared_edge_hit_models,
 )
 from ..streaming.metrics import SessionResult
+from ..streaming.schemes import CtileScheme, FtileScheme, PtileScheme
 from ..streaming.session import SessionConfig
 from ..video.framerate import FrameRateLadder
 from .artifacts import ArtifactStore, ptiles_key
@@ -54,6 +57,7 @@ __all__ = [
     "sweep_edge_cache",
     "sweep_shared_cache",
     "sweep_viewport_predictor",
+    "sweep_resilience",
 ]
 
 
@@ -497,6 +501,144 @@ def sweep_shared_cache(
                 extra=extra,
             )
         )
+    return points
+
+
+def sweep_resilience(
+    setup: ExperimentSetup,
+    profiles: tuple[str, ...] = (
+        "none", "outages", "collapse", "lossy", "stress",
+    ),
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 8,
+    users: int = 2,
+    scheme_names: tuple[str, ...] = ("ctile", "ftile", "ptile"),
+    fault_seed: int = 7,
+    retry_budget: int = 2,
+    timeout_slack_s: float = 0.75,
+    workers: int | None = 1,
+    results: ArtifactStore | None = None,
+) -> list[AblationPoint]:
+    """Energy/QoE/rebuffering of the tiling schemes under link faults.
+
+    For each fault profile, a deterministic
+    :class:`~repro.resilience.faults.FaultPlan` seeded by
+    ``(profile, fault_seed)`` is overlaid on trace 2 and every scheme's
+    test sessions run through the resilient download engine
+    (deadline-aware timeouts, ``retry_budget`` retries with exponential
+    backoff, the degradation ladder).  Fault windows are drawn over the
+    session's video duration, so every window can actually perturb
+    playback.  The ``"none"`` profile runs the unmodified ideal code
+    path — its points must match a fault-free sweep exactly.
+
+    One :class:`AblationPoint` per ``(profile, scheme)`` pair, labelled
+    ``"profile:scheme"``, with retry/timeout/degradation/stall counters
+    in ``extra``.  Deterministic and cache-stable: aggregates are
+    identical at any ``workers`` count and with the ``results`` store
+    warm or cold (the fault plan and policy are part of the context
+    digest).
+    """
+    if not profiles:
+        raise ValueError("need at least one fault profile")
+    if not scheme_names:
+        raise ValueError("need at least one scheme")
+    factories = {
+        "ctile": CtileScheme,
+        "ftile": FtileScheme,
+        "ptile": PtileScheme,
+    }
+    unknown = [s for s in scheme_names if s not in factories]
+    if unknown:
+        raise ValueError(
+            f"unknown schemes {unknown}; available: "
+            f"{', '.join(sorted(factories))}"
+        )
+    schemes = {name: factories[name]() for name in scheme_names}
+    manifest = setup.manifest(video_id)
+    n_segments = manifest.num_segments
+    if setup.session_config.max_segments is not None:
+        n_segments = min(n_segments, setup.session_config.max_segments)
+    plan_duration_s = n_segments * setup.session_config.segment_seconds
+    policy = DownloadPolicy(
+        retry_budget=retry_budget, timeout_slack_s=timeout_slack_s
+    )
+    heads = tuple(setup.dataset.test_traces(video_id)[:users])
+
+    points = []
+    for profile in profiles:
+        if profile == "none":
+            # The unmodified ideal path: both resilience knobs off, so
+            # these sessions are byte-identical to a fault-free sweep
+            # (and share its results-cache slots).
+            config = setup.session_config
+        else:
+            plan = generate_fault_plan(
+                profile, plan_duration_s, seed=fault_seed
+            )
+            config = replace(
+                setup.session_config,
+                fault_plan=plan,
+                download_policy=policy,
+            )
+        context = SweepContext(
+            schemes=schemes,
+            device=device,
+            networks={"trace2": setup.trace2},
+            manifests={video_id: manifest},
+            head_traces={video_id: heads},
+            ptiles={video_id: setup.ptiles(video_id)},
+            ftiles={video_id: setup.ftiles(video_id)},
+            config=config,
+        )
+        jobs = [
+            SessionJob(
+                key=(name, profile, user),
+                scheme=name,
+                video_id=video_id,
+                network="trace2",
+                user_index=user,
+            )
+            for name in scheme_names
+            for user in range(len(heads))
+        ]
+        sessions = run_session_jobs(
+            context, jobs, workers=workers, results=results
+        ).results
+        per_scheme = {
+            name: sessions[i * len(heads) : (i + 1) * len(heads)]
+            for i, name in enumerate(scheme_names)
+        }
+        for name in scheme_names:
+            batch = per_scheme[name]
+            points.append(
+                AblationPoint(
+                    f"{profile}:{name}",
+                    float(np.mean([s.energy_per_segment_j for s in batch])),
+                    float(np.mean([s.mean_qoe for s in batch])),
+                    float(np.mean([s.rebuffer_count for s in batch])),
+                    extra={
+                        "stall": float(
+                            np.mean([s.total_stall_s for s in batch])
+                        ),
+                        "retries": float(
+                            np.mean([s.total_retries for s in batch])
+                        ),
+                        "timeouts": float(
+                            np.mean([s.total_timeouts for s in batch])
+                        ),
+                        "degraded": float(
+                            np.mean(
+                                [s.degraded_segment_count for s in batch]
+                            )
+                        ),
+                        "skipped": float(
+                            np.mean(
+                                [s.skipped_segment_count for s in batch]
+                            )
+                        ),
+                    },
+                )
+            )
     return points
 
 

@@ -88,14 +88,21 @@ __all__ = [
 ARTIFACT_SCHEMA_VERSION = 1
 """Bumped whenever the on-disk layout or the key composition changes."""
 
-RESULTS_SCHEMA_VERSION = 2
+RESULTS_SCHEMA_VERSION = 3
 """Bumped whenever the session-result schema or the fingerprint
 composition changes; baked into every results key.
 
 v2: SegmentRecord gained ``edge_hit_mbit``; SweepContext gained
 ``video_configs`` (per-video edge-cache models of the multi-tenant
 shared edge), both of which change what a cached result contains and
-what the context digest must cover."""
+what the context digest must cover.
+
+v3: the resilience subsystem — SegmentRecord gained ``retries``,
+``timeouts``, and ``degraded_level``; SessionConfig gained
+``fault_plan`` / ``download_policy`` (both fingerprint structurally as
+frozen dataclasses of primitives, so two sweeps sharing a
+``(profile, seed)`` share cached sessions and any other pair cannot
+collide)."""
 
 ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles", "results")
 

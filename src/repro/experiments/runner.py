@@ -253,7 +253,10 @@ def resolve_workers(workers: int | None) -> int:
     if workers is None or workers == 0:
         return os.cpu_count() or 1
     if workers < 0:
-        raise ValueError("workers must be >= 0 (0 = auto-detect)")
+        raise ValueError(
+            f"invalid worker count {workers}: pass a positive number of "
+            "worker processes, or 0/None to auto-detect the CPU count"
+        )
     return workers
 
 

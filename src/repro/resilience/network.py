@@ -1,0 +1,92 @@
+"""A network trace with a fault plan applied.
+
+:class:`FaultyNetwork` wraps a :class:`~repro.traces.network.NetworkTrace`
+plus a :class:`~repro.resilience.faults.FaultPlan` and exposes the same
+download interface the session loop uses, with the plan's outages and
+collapse windows folded into the bandwidth integration.  Determinism is
+inherited: both inputs are pure data, so every query is a pure function
+of ``(trace, plan, arguments)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..traces.network import NetworkTrace
+from .faults import FaultPlan
+
+__all__ = ["FaultyNetwork"]
+
+
+@dataclass(frozen=True)
+class FaultyNetwork:
+    """A :class:`NetworkTrace` seen through a :class:`FaultPlan`.
+
+    Unlike the base trace, the *effective* bandwidth may be zero (inside
+    an outage window), so callers feeding throughput estimators must
+    guard against non-positive samples.
+    """
+
+    base: NetworkTrace
+    plan: FaultPlan
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}+{self.plan.name}"
+
+    def bandwidth_at(self, t: float) -> float:
+        """Effective bandwidth (Mbps) at ``t``; 0 inside an outage."""
+        return self.base.bandwidth_at(t) * self.plan.bandwidth_factor(t)
+
+    def extra_latency(self, t: float) -> float:
+        """First-byte latency of a request issued at ``t``."""
+        return self.plan.extra_latency(t)
+
+    def download_within(
+        self, size_mbit: float, start_t: float, budget_s: float
+    ) -> tuple[float, float, bool]:
+        """Bounded download against the faulted link.
+
+        Same contract as :meth:`NetworkTrace.download_within`, with the
+        integration additionally split at fault-window boundaries: an
+        outage contributes zero capacity while its wall time still
+        elapses, and collapse windows scale the trace bandwidth.
+        """
+        if size_mbit < 0:
+            raise ValueError("size must be non-negative")
+        if start_t < 0:
+            raise ValueError("start time must be non-negative")
+        if budget_s < 0:
+            raise ValueError("budget must be non-negative")
+        if size_mbit == 0:
+            return 0.0, 0.0, True
+        if budget_s == 0:
+            return 0.0, 0.0, False
+        remaining = size_mbit
+        t = start_t
+        deadline = start_t + budget_s
+        bin_s = self.base.bin_seconds
+        guard = 0
+        max_iterations = (
+            10 * self.base.bandwidth_mbps.size
+            + int(size_mbit / min(self.base.bandwidth_mbps))
+            + int(budget_s / bin_s)
+            + 4 * (len(self.plan.outages) + len(self.plan.collapses))
+            + 16
+        )
+        while remaining > 1e-12 and t < deadline:
+            factor = self.plan.bandwidth_factor(t)
+            bw = self.base.bandwidth_at(t) * factor
+            bin_end = (int(t / bin_s) + 1) * bin_s
+            piece_end = min(bin_end, deadline, self.plan.next_boundary_after(t))
+            window = piece_end - t
+            capacity = bw * window
+            if bw > 0 and capacity >= remaining:
+                dt = remaining / bw
+                return size_mbit, (t - start_t) + dt, True
+            remaining -= capacity
+            t = piece_end
+            guard += 1
+            if guard > max_iterations:  # pragma: no cover - safety net
+                raise RuntimeError("faulty download did not converge")
+        return size_mbit - remaining, budget_s, False

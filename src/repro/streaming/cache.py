@@ -107,6 +107,8 @@ class EdgeCache:
                 # Stale size: re-admit at the new size so _used_mbit
                 # tracks reality instead of drifting.
                 self._used_mbit -= self._objects.pop(key)
+                if not self._objects:
+                    self._used_mbit = 0.0
                 if size_mbit > self.capacity_mbit:
                     self._frequency.pop(key, None)
                     return False
@@ -120,7 +122,10 @@ class EdgeCache:
         return False
 
     def _store(self, key, size_mbit: float) -> None:
-        while self._used_mbit + size_mbit > self.capacity_mbit:
+        # Guard on residency: float residue in _used_mbit could otherwise
+        # demand an eviction from an already-empty cache when size_mbit
+        # is within rounding error of the full capacity.
+        while self._objects and self._used_mbit + size_mbit > self.capacity_mbit:
             self._evict()
         self._objects[key] = size_mbit
         self._used_mbit += size_mbit
@@ -135,6 +140,10 @@ class EdgeCache:
             key = min(self._objects, key=lambda k: self._frequency.get(k, 0))
             size = self._objects.pop(key)
         self._used_mbit -= size
+        if not self._objects:
+            # An empty cache holds exactly zero bytes; reset so
+            # subtraction residue never accumulates across tenures.
+            self._used_mbit = 0.0
         # LFU aging: an evicted object's count dies with it, so the
         # table never outgrows the resident set and a re-admission
         # competes on its new tenure, not its ancient popularity.
@@ -358,6 +367,12 @@ def interleave_tenant_requests(
     size_mbit)`` tuples.
     """
     tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError(
+            "cannot interleave an empty tenant collection; pass at least "
+            "one CacheTenant (an empty stream would silently train "
+            "all-miss hit models)"
+        )
     if scheme not in ("ptile", "ctile"):
         raise ValueError(f"unknown scheme {scheme!r}")
     if scheme == "ptile":
@@ -440,7 +455,10 @@ def build_shared_edge_hit_models(
     """
     tenants = tuple(tenants)
     if not tenants:
-        raise ValueError("need at least one tenant")
+        raise ValueError(
+            "cannot train shared edge hit models without tenants; pass "
+            "at least one CacheTenant"
+        )
     ids = [t.video_id for t in tenants]
     if len(set(ids)) != len(ids):
         raise ValueError(f"duplicate tenant video ids {sorted(ids)}")
@@ -467,6 +485,12 @@ def build_shared_edge_hit_models(
             stats.bytes_backhaul_mbit += size
             overall.bytes_backhaul_mbit += size
 
+    if overall.requests == 0:
+        raise ValueError(
+            "tenant populations produced an empty request stream "
+            "(no video has any segment to request); refusing to train "
+            "all-miss hit models"
+        )
     models = {
         video_id: EdgeHitModel(
             hit_ratios=tuple(

@@ -41,6 +41,14 @@ class SegmentRecord:
     # Bytes of this segment served by the edge cache (0 without an
     # attached EdgeHitModel); the miss remainder crossed the backhaul.
     edge_hit_mbit: float = 0.0
+    # Resilience accounting (all zero on the ideal, fault-free path):
+    # download attempts beyond the first, attempts aborted by the
+    # playback deadline, and the delivered rung of the degradation
+    # ladder as an int (repro.resilience.policy.DegradationLevel:
+    # 0=FULL, 1=REDUCED, 2=LOW_LAYER, 3=SKIPPED).
+    retries: int = 0
+    timeouts: int = 0
+    degraded_level: int = 0
 
 
 @dataclass
@@ -146,6 +154,30 @@ class SessionResult:
         if total <= 0:
             return 0.0
         return self.total_edge_hit_mbit / total
+
+    # ------------------------------------------------------------------
+    # Resilience (fault-injected sessions; all zero on the ideal path)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_retries(self) -> int:
+        """Download attempts beyond the first, summed over segments."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Attempts aborted by the playback deadline, summed."""
+        return sum(r.timeouts for r in self.records)
+
+    @property
+    def degraded_segment_count(self) -> int:
+        """Segments delivered below the scheme's planned rung."""
+        return sum(1 for r in self.records if r.degraded_level > 0)
+
+    @property
+    def skipped_segment_count(self) -> int:
+        """Segments skipped outright (DegradationLevel.SKIPPED)."""
+        return sum(1 for r in self.records if r.degraded_level >= 3)
 
     def _require_records(self) -> None:
         if not self.records:

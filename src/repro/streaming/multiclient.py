@@ -65,6 +65,8 @@ def run_shared_link(
     ftiles=None,
     config: SessionConfig = SessionConfig(),
     edge_model: EdgeHitModel | None = None,
+    fault_plan=None,
+    download_policy=None,
 ) -> SharedLinkResult:
     """Simulate N clients sharing one bottleneck link.
 
@@ -81,6 +83,11 @@ def run_shared_link(
     :func:`~repro.streaming.cache.build_shared_edge_hit_models` for the
     multi-tenant training that produces contention-aware models).
 
+    ``fault_plan`` / ``download_policy`` overlay the shared cell with a
+    deterministic fault plan and engage the resilient download engine
+    for every client (see ``repro.resilience``); all clients experience
+    the same outages and collapse windows, as on a real shared link.
+
     Returns per-client session results computed against the fair-share
     trace.
     """
@@ -89,6 +96,10 @@ def run_shared_link(
         raise ValueError("need at least one client")
     if edge_model is not None:
         config = replace(config, edge_model=edge_model)
+    if fault_plan is not None or download_policy is not None:
+        config = replace(
+            config, fault_plan=fault_plan, download_policy=download_policy
+        )
     fair = network.scaled(1.0 / n, name=f"{network.name}/{n}")
     results = []
     for head in head_traces:
@@ -121,11 +132,15 @@ def capacity_sweep(
     ftiles=None,
     config: SessionConfig = SessionConfig(),
     edge_model: EdgeHitModel | None = None,
+    fault_plan=None,
+    download_policy=None,
 ) -> dict[int, SharedLinkResult]:
     """How quality and stalls degrade as more clients share the cell.
 
-    ``edge_model`` is forwarded to every :func:`run_shared_link` call,
-    so the sweep's clients share the edge cache as well as the link.
+    ``edge_model``, ``fault_plan``, and ``download_policy`` are
+    forwarded to every :func:`run_shared_link` call, so the sweep's
+    clients share the edge cache, the fault overlay, and the client
+    resilience policy as well as the link.
     """
     available = list(head_traces)
     if not available:
@@ -139,5 +154,6 @@ def capacity_sweep(
             scheme_factory, manifest, chosen, network, device,
             ptiles=ptiles, ftiles=ftiles, config=config,
             edge_model=edge_model,
+            fault_plan=fault_plan, download_policy=download_policy,
         )
     return results

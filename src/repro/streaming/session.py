@@ -26,7 +26,7 @@ Conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..power.energy import EnergyModel, SegmentEnergy
 from ..power.models import DevicePowerModel
@@ -43,6 +43,10 @@ from .cache import EdgeHitModel
 from .ftile import FtilePartition
 from .metrics import SegmentRecord, SessionResult
 from .schemes import LOWEST_QUALITY, PlanContext, StreamingScheme
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from ..resilience.faults import FaultPlan
+    from ..resilience.policy import DownloadPolicy
 
 __all__ = ["SessionConfig", "run_session"]
 
@@ -68,6 +72,14 @@ class SessionConfig:
     # -> predictor.  None selects the paper's ridge regression; see
     # repro.prediction.strategies for the static/oracle alternatives.
     predictor_factory: Callable | None = None
+    # Resilience (docs/MODELING.md §10): a deterministic fault overlay
+    # on the network trace plus the client's deadline/retry/degradation
+    # policy.  With both None the session runs the exact ideal-network
+    # code path; setting either engages the resilient download engine
+    # (a missing policy falls back to DownloadPolicy() defaults, a
+    # missing plan to no faults).
+    fault_plan: FaultPlan | None = None
+    download_policy: DownloadPolicy | None = None
 
 
 @dataclass
@@ -124,6 +136,23 @@ def run_session(
         )
     feeder = _TraceFeeder(head_trace, predictor)
 
+    # Resilient download engine (lazy import: repro.resilience imports
+    # streaming.schemes, so a top-level import here would be circular).
+    resilient = (
+        config.fault_plan is not None or config.download_policy is not None
+    )
+    if resilient:
+        from ..resilience.network import FaultyNetwork
+        from ..resilience.policy import DownloadPolicy, execute_download
+
+        fault_plan = config.fault_plan
+        policy = config.download_policy or DownloadPolicy()
+        faulty_net = (
+            FaultyNetwork(network, fault_plan)
+            if fault_plan is not None and not fault_plan.is_idle
+            else network
+        )
+
     energy_model = EnergyModel(device, config.segment_seconds)
     result = SessionResult(
         scheme_name=scheme.name,
@@ -178,56 +207,107 @@ def run_session(
         )
         plan = scheme.plan(ctx)
 
-        if config.edge_model is not None:
-            # Split the download: edge-cached bytes arrive at the edge
-            # link rate, only the miss fraction crosses the backhaul.
-            edge_hit_mbit = plan.total_size_mbit * config.edge_model.hit_ratio(k)
-            miss_mbit = plan.total_size_mbit - edge_hit_mbit
-            download_time = (
-                network.download_time(miss_mbit, wall_t)
-                + edge_hit_mbit / config.edge_model.edge_bandwidth_mbps
+        if resilient:
+            # Deadline-aware download with retry/backoff and the
+            # degradation ladder; may deliver a cheaper plan (or skip).
+            # The cold-start segment's fetch is startup delay, not a
+            # deadline violation, so it runs unbounded.
+            outcome = execute_download(
+                faulty_net,
+                plan,
+                manifest[k],
+                manifest.fps,
+                policy=policy,
+                fault_plan=fault_plan,
+                start_wall_t=wall_t,
+                buffer_level_s=level_at_request,
+                segment_index=k,
+                edge_model=config.edge_model,
+                unlimited_deadline=k == 0,
             )
+            delivered = outcome.plan
+            skipped = outcome.skipped
+            edge_hit_mbit = outcome.edge_hit_mbit
+            download_time = outcome.elapsed_s
+            active_time = outcome.active_s
+            if download_time > 0 and delivered.total_size_mbit > 0:
+                bandwidth.add(delivered.total_size_mbit / download_time)
+            else:
+                # Skipped/instant segment: sample the effective link at
+                # the end of the fetch, unless an outage zeroes it (the
+                # harmonic-mean estimator rejects non-positive samples).
+                sample = faulty_net.bandwidth_at(wall_t + download_time)
+                if sample > 0:
+                    bandwidth.add(sample)
         else:
-            edge_hit_mbit = 0.0
-            download_time = network.download_time(plan.total_size_mbit, wall_t)
-        if download_time > 0:
-            bandwidth.add(plan.total_size_mbit / download_time)
-        else:
-            # An instantaneous download (empty or negligible payload)
-            # carries no throughput ratio; feed the trace's current
-            # bandwidth instead of dropping the sample so the
-            # harmonic-mean estimator does not go stale.
-            bandwidth.add(network.bandwidth_at(wall_t))
+            delivered = plan
+            skipped = False
+            if config.edge_model is not None:
+                # Split the download: edge-cached bytes arrive at the
+                # edge link rate, only the miss fraction crosses the
+                # backhaul.
+                edge_hit_mbit = plan.total_size_mbit * config.edge_model.hit_ratio(k)
+                miss_mbit = plan.total_size_mbit - edge_hit_mbit
+                download_time = (
+                    network.download_time(miss_mbit, wall_t)
+                    + edge_hit_mbit / config.edge_model.edge_bandwidth_mbps
+                )
+            else:
+                edge_hit_mbit = 0.0
+                download_time = network.download_time(plan.total_size_mbit, wall_t)
+            active_time = download_time
+            if download_time > 0:
+                bandwidth.add(plan.total_size_mbit / download_time)
+            else:
+                # An instantaneous download (empty or negligible payload)
+                # carries no throughput ratio; feed the trace's current
+                # bandwidth instead of dropping the sample so the
+                # harmonic-mean estimator does not go stale.
+                bandwidth.add(network.bandwidth_at(wall_t))
         event = buffer.advance(download_time)
         wall_t += download_time
 
-        # Energy (Eq. 1) with the realized download time.
+        # Energy (Eq. 1): transmission from radio-active time (excludes
+        # backoff waits), decode/render from what actually plays — a
+        # skipped segment freezes the display and costs neither.
         energy = SegmentEnergy(
             transmission_j=energy_model.transmission_energy_from_time_j(
-                download_time
+                active_time
             ),
-            decoding_j=energy_model.decoding_energy_j(
-                plan.decode_scheme, plan.frame_rate
+            decoding_j=0.0
+            if skipped
+            else energy_model.decoding_energy_j(
+                delivered.decode_scheme, delivered.frame_rate
             ),
-            rendering_j=energy_model.rendering_energy_j(plan.frame_rate),
+            rendering_j=0.0
+            if skipped
+            else energy_model.rendering_energy_j(delivered.frame_rate),
         )
 
         # What the user actually saw.
         seg = manifest[k]
         actual_vp = head_trace.viewport_at(playback_mid, config.fov_deg)
-        coverage = plan.coverage_of(actual_vp)
         actual_speed = head_trace.speed_quantile_in(
             k * config.segment_seconds, (k + 1) * config.segment_seconds
         )
         alpha = alpha_from_behavior(actual_speed, seg.ti)
-        factor = frame_rate_factor(plan.frame_rate, manifest.fps, alpha)
-        qo_high = qoe.quality.qo(
-            seg.si, seg.ti, seg.qoe_bitrate_mbps(plan.quality)
-        )
-        qo_low = qoe.quality.qo(
-            seg.si, seg.ti, seg.qoe_bitrate_mbps(LOWEST_QUALITY)
-        )
-        qo_effective = (coverage * qo_high + (1.0 - coverage) * qo_low) * factor
+        factor = frame_rate_factor(delivered.frame_rate, manifest.fps, alpha)
+        if skipped:
+            # Nothing arrived: zero coverage and zero perceived quality
+            # (the full coverage penalty of the ladder's last rung).
+            coverage = 0.0
+            qo_effective = 0.0
+        else:
+            coverage = delivered.coverage_of(actual_vp)
+            qo_high = qoe.quality.qo(
+                seg.si, seg.ti, seg.qoe_bitrate_mbps(delivered.quality)
+            )
+            qo_low = qoe.quality.qo(
+                seg.si, seg.ti, seg.qoe_bitrate_mbps(LOWEST_QUALITY)
+            )
+            qo_effective = (
+                coverage * qo_high + (1.0 - coverage) * qo_low
+            ) * factor
 
         # Startup handling: the first download is startup delay, not a
         # rebuffering event, unless the config opts in.  The recorded
@@ -244,9 +324,9 @@ def run_session(
         result.add(
             SegmentRecord(
                 index=k,
-                quality=plan.quality,
-                frame_rate=plan.frame_rate,
-                size_mbit=plan.total_size_mbit,
+                quality=delivered.quality,
+                frame_rate=delivered.frame_rate,
+                size_mbit=delivered.total_size_mbit,
                 download_time_s=download_time,
                 wait_s=event.wait_s,
                 stall_s=stall_recorded,
@@ -255,9 +335,12 @@ def run_session(
                 qo_effective=qo_effective,
                 qoe=segment_qoe,
                 energy=energy,
-                decode_scheme=plan.decode_scheme,
-                used_ptile=plan.used_ptile,
+                decode_scheme=delivered.decode_scheme,
+                used_ptile=delivered.used_ptile,
                 edge_hit_mbit=edge_hit_mbit,
+                retries=outcome.retries if resilient else 0,
+                timeouts=outcome.timeouts if resilient else 0,
+                degraded_level=int(outcome.level) if resilient else 0,
             )
         )
     return result

@@ -72,7 +72,7 @@ class NetworkTrace:
         elapsed = 0.0
         guard = 0
         max_iterations = 10 * self.bandwidth_mbps.size + int(
-            size_mbit / min(self.bandwidth_mbps)
+            size_mbit / float(self.bandwidth_mbps.min())
         ) + 16
         while remaining > 1e-12:
             bw = self.bandwidth_at(t)
@@ -89,6 +89,54 @@ class NetworkTrace:
             if guard > max_iterations:  # pragma: no cover - safety net
                 raise RuntimeError("download did not converge")
         return elapsed
+
+    def download_within(
+        self, size_mbit: float, start_t: float, budget_s: float
+    ) -> tuple[float, float, bool]:
+        """Download under a wall-clock budget (deadline-aware fetching).
+
+        Integrates the same piecewise-constant bandwidth as
+        :meth:`download_time` but stops once ``budget_s`` seconds have
+        elapsed.  Returns ``(delivered_mbit, elapsed_s, completed)``:
+        either the full object arrived early (``elapsed_s <= budget_s``,
+        ``completed=True``) or the budget ran out mid-transfer and the
+        partial bytes are reported (``elapsed_s == budget_s``,
+        ``completed=False``).  The resilience download policy uses this
+        to charge timed-out attempts their real trace time.
+        """
+        if size_mbit < 0:
+            raise ValueError("size must be non-negative")
+        if start_t < 0:
+            raise ValueError("start time must be non-negative")
+        if budget_s < 0:
+            raise ValueError("budget must be non-negative")
+        if size_mbit == 0:
+            return 0.0, 0.0, True
+        if budget_s == 0:
+            return 0.0, 0.0, False
+        remaining = size_mbit
+        t = start_t
+        deadline = start_t + budget_s
+        guard = 0
+        # Each iteration either completes (returns) or advances t to the
+        # next bin boundary, so the loop is bounded by the number of bin
+        # crossings inside the budget window.
+        max_iterations = int(budget_s / self.bin_seconds) + 16
+        while remaining > 1e-12 and t < deadline:
+            bw = self.bandwidth_at(t)
+            bin_end = (int(t / self.bin_seconds) + 1) * self.bin_seconds
+            piece_end = min(bin_end, deadline)
+            window = piece_end - t
+            capacity = bw * window
+            if capacity >= remaining:
+                dt = remaining / bw
+                return size_mbit, (t - start_t) + dt, True
+            remaining -= capacity
+            t = piece_end
+            guard += 1
+            if guard > max_iterations:  # pragma: no cover - safety net
+                raise RuntimeError("bounded download did not converge")
+        return size_mbit - remaining, budget_s, False
 
     def mean_throughput_over(self, start_t: float, duration: float) -> float:
         """Average bandwidth over a window (used as realized throughput)."""

@@ -143,3 +143,59 @@ class TestMain:
             main(["shared-cache", "--tenant-videos", "2.5"])
         with pytest.raises(SystemExit):
             main(["shared-cache", "--tenant-viewers", "0"])
+
+
+class TestResilienceCli:
+    def test_flag_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["resilience"])
+        assert args.fault_profile == "none,outages,collapse,lossy,stress"
+        assert args.fault_seed == 7
+        assert args.retry_budget == 2
+        assert args.timeout_slack == 0.75
+
+    def test_flag_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "resilience", "--fault-profile", "lossy,stress",
+            "--fault-seed", "42", "--retry-budget", "1",
+            "--timeout-slack", "1.5",
+        ])
+        assert args.fault_profile == "lossy,stress"
+        assert args.fault_seed == 42
+        assert args.retry_budget == 1
+        assert args.timeout_slack == 1.5
+
+    def test_negative_workers_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--workers", "-2"])
+        err = capsys.readouterr().err
+        assert "worker count" in err and "auto-detect" in err
+
+    def test_non_integer_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--workers", "two"])
+
+    def test_unknown_fault_profile_lists_available(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["resilience", "--fault-profile", "wat"])
+        err = capsys.readouterr().err
+        assert "unknown fault profile" in err
+        assert "lossy" in err  # actionable: the valid names are listed
+
+    def test_bad_policy_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["resilience", "--retry-budget", "-1"])
+        with pytest.raises(SystemExit):
+            main(["resilience", "--timeout-slack", "-0.5"])
+
+    def test_resilience_tiny_run(self, capsys):
+        rc = main([
+            "resilience", "--duration", "12", "--users", "1",
+            "--fault-profile", "none,lossy", "--no-artifact-cache",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "none:ptile" in out
+        assert "lossy:ptile" in out
+        assert "retries=" in out

@@ -117,6 +117,27 @@ class TestEdgeCache:
         assert "a" not in cache._objects
         assert "a" not in cache._frequency
 
+    def test_capacity_sized_regrow_survives_float_residue(self):
+        # Regression (hypothesis falsifying example): subtraction residue
+        # in _used_mbit made a capacity-sized re-admission evict past an
+        # empty cache and crash.
+        capacity = 2.542870980097112
+        cache = EdgeCache(capacity_mbit=capacity, policy="lru")
+        cache.request((0,), 1.0)
+        cache.request((1,), 1.2549724979308496)
+        assert cache.request((0,), capacity)  # grows to exactly capacity
+        assert cache.used_mbit == pytest.approx(capacity)
+        assert list(cache._objects) == [(0,)]
+
+    def test_empty_cache_accounting_resets_exactly(self):
+        cache = EdgeCache(capacity_mbit=3.0, policy="lfu")
+        cache.request("a", 0.1 + 0.2)  # sums with float error
+        cache.request("b", 2.0)
+        cache.request("c", 2.9)  # evicts both
+        assert list(cache._objects) == ["c"]
+        assert not cache.request("a", 0.3)
+        assert cache.used_mbit <= cache.capacity_mbit
+
 
 class TestSimulateCache:
     def test_stats_accounting(self):
@@ -346,3 +367,14 @@ class TestSharedEdgeCache:
             1 for a, b in zip(round0, round0[1:]) if a != b
         )
         assert changes > 2
+
+    def test_empty_tenant_stream_rejected(self):
+        # Silently yielding an empty stream (or training all-miss
+        # models) hides configuration bugs; both entry points must
+        # refuse loudly instead.
+        with pytest.raises(ValueError, match="empty tenant collection"):
+            list(interleave_tenant_requests(()))
+        with pytest.raises(ValueError, match="at least one CacheTenant"):
+            build_shared_edge_hit_models([])
+        with pytest.raises(ValueError, match="at least one CacheTenant"):
+            build_shared_edge_hit_models(iter(()))
