@@ -67,6 +67,9 @@ def extract_metrics(report: dict) -> dict[str, float]:
         "warm_results_speedup": _extra(
             report, "test_results_cache_cold_vs_warm", "warm_speedup"
         ),
+        "shard_read_speedup": _extra(
+            report, "test_shard_read_vs_per_pickle", "shard_read_speedup"
+        ),
         "planner_plans_per_second": _extra(
             report, "test_planner_throughput", "plans_per_second"
         ),

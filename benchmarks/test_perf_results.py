@@ -1,19 +1,36 @@
 """Session-results cache benchmarks.
 
-Quantifies the PR-level optimization: with a results store, a warm
-re-run of an identical sweep deserializes every session instead of
-re-simulating it.  The acceptance bar is a >= 5x speedup of the full
-sweep (content prep + sessions) on warm artifact + results stores, with
-byte-identical aggregates (asserted in ``tests/test_results_cache.py``);
-the measured wall times and speedup land in ``extra_info`` for the CI
-regression gate.
+Two gates on the results-store layer:
+
+* ``test_results_cache_cold_vs_warm`` — the PR-level optimization: with
+  a (sharded) results store, a warm re-run of an identical sweep
+  deserializes every session instead of re-simulating it.  The
+  acceptance bar is a >= 5x speedup of the full sweep (content prep +
+  sessions) on warm artifact + results stores, with byte-identical
+  aggregates (asserted in ``tests/test_results_cache.py`` /
+  ``tests/test_results_shards.py``).
+
+* ``test_shard_read_vs_per_pickle`` — the storage-layer optimization
+  that unlocks population scale: serving one (context, video) group
+  from a single columnar shard read must be >= 10x faster than the
+  legacy one-pickle-per-session path it replaces.  Measured on a
+  many-row store of small payloads so per-file open/stat overhead —
+  exactly what a million-session sweep multiplies — dominates the
+  comparison.
+
+The measured speedups land in ``extra_info`` for the CI regression
+gate.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.experiments import ArtifactStore, make_setup, run_comparison
+from repro.experiments import make_setup, run_comparison
+from repro.experiments.artifacts import (
+    ShardedResultsStore,
+    content_digest,
+)
 from repro.power import PIXEL_3
 
 from conftest import bench_duration, bench_users, run_once
@@ -24,7 +41,7 @@ def _fresh_setup(cache_dir):
     # only the disk stores can carry anything between runs.  Setup
     # construction (synthesizing the dataset) happens outside the timed
     # region — the cache accelerates the sweep, not input generation.
-    store = ArtifactStore(cache_dir)
+    store = ShardedResultsStore(cache_dir)
     return make_setup(max_duration_s=bench_duration(), artifacts=store), store
 
 
@@ -55,4 +72,71 @@ def test_results_cache_cold_vs_warm(benchmark, tmp_path):
     assert speedup >= 5.0, (
         f"warm full sweep only {speedup:.1f}x faster than cold"
         f" ({warm_s:.2f}s vs {cold_s:.2f}s)"
+    )
+
+
+_SHARD_ROWS = 20_000
+_SHARD_ROUNDS = 5
+
+
+def test_shard_read_vs_per_pickle(benchmark, tmp_path):
+    """Warm many-row read: one shard open vs one open per session.
+
+    Rows are small on purpose: the legacy path's cost at population
+    scale is per-*file* overhead (open/read/close per session), which
+    small payloads isolate.  Min-of-rounds on both sides — the first
+    pass pays page-cache and allocator warmup that a warm sweep never
+    sees again, and the gate is a same-process ratio of sub-second
+    regions.
+    """
+    store = ShardedResultsStore(tmp_path)
+    payloads = {
+        content_digest("job", i): float(i) for i in range(_SHARD_ROWS)
+    }
+    legacy_keys = {
+        digest: content_digest("legacy-key", digest)
+        for digest in payloads
+    }
+    for digest, payload in payloads.items():
+        store.put("results", legacy_keys[digest], payload)
+    shard_digest = content_digest("bench-shard-group")
+    store.merge_shard(shard_digest, payloads)
+    entries = [
+        (digest, legacy_keys[digest]) for digest in payloads
+    ]
+    expected = list(payloads.values())
+
+    def read_per_pickle():
+        reader = ShardedResultsStore(tmp_path)
+        return [
+            reader.get("results", key) for _, key in entries
+        ]
+
+    def read_shard():
+        reader = ShardedResultsStore(tmp_path)
+        out, _ = reader.get_results_batch(shard_digest, entries)
+        return out
+
+    assert read_per_pickle() == expected
+    legacy_s = float("inf")
+    for _ in range(_SHARD_ROUNDS):
+        t0 = time.perf_counter()
+        out = read_per_pickle()
+        legacy_s = min(legacy_s, time.perf_counter() - t0)
+    assert out == expected
+
+    sharded = benchmark.pedantic(read_shard, rounds=_SHARD_ROUNDS,
+                                 iterations=1)
+    shard_s = benchmark.stats["min"]
+    assert sharded == expected  # bit-for-bit the same rows
+
+    speedup = legacy_s / shard_s if shard_s > 0 else float("inf")
+    benchmark.extra_info["rows"] = _SHARD_ROWS
+    benchmark.extra_info["per_pickle_s"] = legacy_s
+    benchmark.extra_info["shard_s"] = shard_s
+    benchmark.extra_info["shard_read_speedup"] = speedup
+    assert speedup >= 10.0, (
+        f"shard read only {speedup:.1f}x faster than per-pickle"
+        f" ({shard_s * 1e6 / _SHARD_ROWS:.2f}us/row vs"
+        f" {legacy_s * 1e6 / _SHARD_ROWS:.2f}us/row)"
     )

@@ -20,6 +20,7 @@ import sys
 
 from .experiments import (
     ArtifactStore,
+    ShardedResultsStore,
     default_cache_dir,
     make_setup,
     print_lines,
@@ -110,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
              "session",
     )
     parser.add_argument(
+        "--legacy-results-cache", action="store_true",
+        help="store session results as one pickle per session instead "
+             "of columnar per-(context, video) shards; reads existing "
+             "entries either way, but sweeps at population scale are "
+             "much slower (one file open per session)",
+    )
+    parser.add_argument(
         "--cache-capacities", metavar="MBIT[,MBIT...]",
         default="0,500,2000,8000",
         help="shared edge-cache capacities to sweep, comma-separated "
@@ -189,15 +197,21 @@ def _artifact_store(args: argparse.Namespace) -> ArtifactStore | None:
 
 
 def _results_store(args: argparse.Namespace) -> ArtifactStore | None:
+    # Columnar shards by default: one file per (context, video) group
+    # instead of one pickle per session.  --legacy-results-cache keeps
+    # the old per-session layout; both read entries written by either.
+    store_cls = (
+        ArtifactStore if args.legacy_results_cache else ShardedResultsStore
+    )
     if args.no_results_cache:
         return None
     if args.results_cache is not None:
-        return ArtifactStore(args.results_cache)
+        return store_cls(args.results_cache)
     # By default the results cache shares the artifact-cache directory,
     # so disabling that disables this too unless a directory is given.
     if args.no_artifact_cache:
         return None
-    return ArtifactStore(args.artifact_cache)
+    return store_cls(args.artifact_cache)
 
 
 def _run_one(name: str, args: argparse.Namespace) -> None:

@@ -48,14 +48,23 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import os
 import pickle
+import re
 import struct
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
+
+try:  # POSIX only; the shard merge degrades gracefully without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..geometry.tiling import TileGrid
 from ..ptile.construction import Ptile, PtileConfig
@@ -70,6 +79,7 @@ __all__ = [
     "RESULTS_SCHEMA_VERSION",
     "ArtifactStats",
     "ArtifactStore",
+    "ShardedResultsStore",
     "content_digest",
     "default_cache_dir",
     "encoder_fingerprint",
@@ -78,6 +88,8 @@ __all__ = [
     "ptiles_key",
     "ftiles_key",
     "results_key",
+    "results_key_from_digest",
+    "results_shard_key",
     "session_job_digest",
     "structural_fingerprint",
     "sweep_context_digest",
@@ -371,11 +383,35 @@ def session_job_digest(job: Any) -> str:
     return content_digest("session-job", parts)
 
 
+def results_key_from_digest(context_digest: str, job_digest: str) -> str:
+    """Cache key of one session's result from its precomputed job digest.
+
+    Split out of :func:`results_key` so the sharded runner path, which
+    already needs :func:`session_job_digest` as the shard column key,
+    does not hash every job twice.
+    """
+    return _versioned(
+        "results", RESULTS_SCHEMA_VERSION, context_digest, job_digest
+    )
+
+
 def results_key(context_digest: str, job: Any) -> str:
     """Cache key of one session's result under one sweep context."""
+    return results_key_from_digest(context_digest, session_job_digest(job))
+
+
+def results_shard_key(context_digest: str, video_id: int) -> str:
+    """Key of the columnar shard holding every session result of one
+    ``(sweep context, video)`` group.
+
+    Within a shard, columns are keyed by :func:`session_job_digest`
+    alone: the schema version, code version, and context digest are
+    already pinned by the shard key, so the pair ``(shard key, job
+    digest)`` spans exactly the same space as the flat
+    :func:`results_key`.
+    """
     return _versioned(
-        "results", RESULTS_SCHEMA_VERSION, context_digest,
-        session_job_digest(job)
+        "results-shard", RESULTS_SCHEMA_VERSION, context_digest, video_id
     )
 
 
@@ -392,8 +428,9 @@ class ArtifactStats:
     misses: dict[str, int] = field(default_factory=dict)
     writes: dict[str, int] = field(default_factory=dict)
 
-    def record(self, counter: dict[str, int], kind: str) -> None:
-        counter[kind] = counter.get(kind, 0) + 1
+    def record(self, counter: dict[str, int], kind: str, n: int = 1) -> None:
+        if n:
+            counter[kind] = counter.get(kind, 0) + n
 
     @property
     def total_hits(self) -> int:
@@ -414,25 +451,55 @@ class ArtifactStats:
         return "; ".join(parts)
 
 
+_DIGEST_RE = re.compile(r"[0-9a-f]{64}\Z")
+
+SHARD_DIR = "results-shards"
+"""Subdirectory of columnar session-result shards (see
+:class:`ShardedResultsStore`)."""
+
+
+def _validate_digest(digest: str) -> str:
+    """Reject anything that is not a lowercase SHA-256 hex digest.
+
+    Digests are interpolated into filenames, so a malformed value
+    (``..``, a path separator, an empty string) would silently address a
+    file outside the kind directory instead of failing loudly.
+    """
+    if not isinstance(digest, str) or _DIGEST_RE.match(digest) is None:
+        raise ValueError(
+            f"malformed artifact digest {digest!r}: expected 64 lowercase "
+            "hex characters (a SHA-256 content digest)"
+        )
+    return digest
+
+
 class ArtifactStore:
     """Disk-backed, content-hash-keyed cache of content-prep artifacts.
 
     ``root=None`` resolves to :func:`default_cache_dir`.  The directory
     is created lazily on the first write, so constructing a store never
     touches the filesystem.
+
+    ``stale_tmp_age_s`` bounds how long an in-flight writer temp file
+    (``.{digest}.{pid}.tmp``) is presumed live: a crashed or killed
+    writer leaves its temp file behind forever, so :meth:`clear` and
+    :meth:`size_bytes` sweep temp files older than this while leaving
+    younger ones to the writers that own them.
     """
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(self, root: str | Path | None = None, *,
+                 stale_tmp_age_s: float = 3600.0):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.stats = ArtifactStats()
+        self.stale_tmp_age_s = stale_tmp_age_s
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ArtifactStore(root={str(self.root)!r})"
+        return f"{type(self).__name__}(root={str(self.root)!r})"
 
     def path_for(self, kind: str, digest: str) -> Path:
         if kind not in ARTIFACT_KINDS:
             raise ValueError(f"unknown artifact kind {kind!r}")
-        return self.root / kind / f"{digest}.pkl"
+        return self.root / kind / f"{_validate_digest(digest)}.pkl"
 
     def get(self, kind: str, digest: str) -> Any | None:
         """The stored object, or ``None`` on miss/corruption."""
@@ -443,8 +510,13 @@ class ArtifactStore:
         except FileNotFoundError:
             self.stats.record(self.stats.misses, kind)
             return None
+        except MemoryError:
+            # A transient OOM loading a large artifact says nothing
+            # about the file: report a miss but keep the entry intact.
+            self.stats.record(self.stats.misses, kind)
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, MemoryError):
+                ImportError):
             # Truncated/corrupt/stale-class pickle: drop it and rebuild.
             try:
                 path.unlink()
@@ -472,31 +544,324 @@ class ArtifactStore:
         self.stats.record(self.stats.writes, kind)
         return path
 
-    def clear(self) -> int:
-        """Delete every stored artifact; returns the number removed."""
-        removed = 0
+    def _directories(self) -> Iterator[Path]:
         for kind in ARTIFACT_KINDS:
-            directory = self.root / kind
+            yield self.root / kind
+        yield self.root / SHARD_DIR
+
+    def _sweep_stale_tmps(self, directory: Path) -> int:
+        """Unlink orphaned writer temp files past the age gate."""
+        removed = 0
+        cutoff = time.time() - self.stale_tmp_age_s
+        for tmp in directory.glob(".*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - racing writers/deleters
+                pass
+        return removed
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns the number removed.
+
+        Also sweeps orphaned writer temp files (age-gated, so a live
+        writer's in-flight temp file is never yanked away) and shard
+        lock files.
+        """
+        removed = 0
+        for directory in self._directories():
             if not directory.is_dir():
                 continue
-            for path in directory.glob("*.pkl"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:  # pragma: no cover - racing deleters
-                    pass
+            removed += self._sweep_stale_tmps(directory)
+            for pattern in ("*.pkl", "*.shard", ".*.lock"):
+                for path in directory.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:  # pragma: no cover - racing deleters
+                        pass
         return removed
 
     def size_bytes(self) -> int:
-        """Total bytes currently stored (best effort)."""
+        """Total bytes currently stored (best effort).
+
+        Counts artifacts, shards, and any writer temp files still on
+        disk — after sweeping temp files old enough to be orphans.
+        """
         total = 0
-        for kind in ARTIFACT_KINDS:
-            directory = self.root / kind
+        for directory in self._directories():
             if not directory.is_dir():
                 continue
-            for path in directory.glob("*.pkl"):
-                try:
-                    total += path.stat().st_size
-                except OSError:  # pragma: no cover - racing deleters
-                    pass
+            self._sweep_stale_tmps(directory)
+            for pattern in ("*.pkl", "*.shard", ".*.tmp"):
+                for path in directory.glob(pattern):
+                    try:
+                        total += path.stat().st_size
+                    except OSError:  # pragma: no cover - racing deleters
+                        pass
         return total
+
+
+# ----------------------------------------------------------------------
+# Columnar session-result shards.  One shard file holds every cached
+# session of one (sweep-context digest, video) group, so a warm
+# million-session sweep opens one file per group instead of one per
+# session.  Layout (all little-endian, written atomically):
+#
+#   magic        b"RSHARD1\n"
+#   digests      .npy, S32, binary SHA-256 job digests, ascending
+#   offsets      .npy, int64, payload offset of each column
+#   ends         .npy, int64, payload end of each column
+#   payload      concatenated per-column pickle blobs
+#
+# Columns are individually pickled with the same protocol as the legacy
+# per-session files, so a result read from a shard is bit-for-bit the
+# object the legacy path would have produced.  Keeping the index as raw
+# numpy arrays (not a zip/npz container) lets a batch lookup run as a
+# handful of vector ops: one read(), three read_array() calls, one
+# searchsorted over the sorted digest column, then one pickle.loads per
+# requested row.
+# ----------------------------------------------------------------------
+
+_SHARD_MAGIC = b"RSHARD1\n"
+
+
+@contextmanager
+def _merge_lock(lock_path: Path) -> Iterator[None]:
+    """Serialize shard read-merge-replace cycles between writers.
+
+    With ``fcntl`` (any POSIX platform) concurrent merges queue on an
+    exclusive lock, so two writers merging disjoint job sets both land
+    in the final shard.  Without it the merge degrades to documented
+    last-writer-wins: the losing writer's rows are recomputed (never
+    corrupted) on the next run.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    with open(lock_path, "ab") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+
+
+class ShardedResultsStore(ArtifactStore):
+    """Artifact store whose session results live in columnar shards.
+
+    Everything except the ``results`` kind behaves exactly like
+    :class:`ArtifactStore` (manifests, Ptiles, and Ftiles keep their
+    one-file-per-object layout — there are a handful per video).  For
+    session results it adds a batch interface keyed by the shard of one
+    ``(sweep-context digest, video)`` group:
+
+    * :meth:`get_results_batch` — one shard read serves every requested
+      job of the group; jobs absent from the shard fall back to the
+      legacy per-session ``results/*.pkl`` files, and those legacy hits
+      are returned for migration so the caller can fold them into the
+      shard (after which the per-session files are dead weight,
+      removable with ``clear()``).
+    * :meth:`merge_shard` — append-merge: read the existing shard raw
+      (columns are never deserialized), overlay the new columns, and
+      atomically replace the file.  Merges are serialized by an
+      exclusive file lock, so concurrent writers with disjoint job sets
+      cannot lose each other's rows.
+
+    The per-session :meth:`get`/:meth:`put` API is inherited unchanged,
+    so code written against :class:`ArtifactStore` (including the CLI
+    flags and the worker fan-out) keeps working; only the batch entry
+    points read or write shards.
+    """
+
+    def shard_path(self, shard_digest: str) -> Path:
+        return self.root / SHARD_DIR / f"{_validate_digest(shard_digest)}.shard"
+
+    # -- raw shard I/O --------------------------------------------------
+
+    def _read_shard_raw(
+        self, shard_digest: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, bytes, int] | None:
+        """``(digests, offsets, ends, file_bytes, payload_base)`` or
+        ``None`` when the shard is absent (corrupt shards are dropped
+        and reported absent; a transient ``MemoryError`` leaves the file
+        in place)."""
+        path = self.shard_path(shard_digest)
+        try:
+            with open(path, "rb") as fh:
+                buf = fh.read()
+        except FileNotFoundError:
+            return None
+        except MemoryError:
+            return None
+        except OSError:
+            return None
+        try:
+            if buf[: len(_SHARD_MAGIC)] != _SHARD_MAGIC:
+                raise ValueError("bad shard magic")
+            bio = io.BytesIO(buf)
+            bio.seek(len(_SHARD_MAGIC))
+            digests = np.lib.format.read_array(bio, allow_pickle=False)
+            offsets = np.lib.format.read_array(bio, allow_pickle=False)
+            ends = np.lib.format.read_array(bio, allow_pickle=False)
+            base = bio.tell()
+            if not (
+                digests.dtype == np.dtype("S32")
+                and len(digests) == len(offsets) == len(ends)
+                and (len(ends) == 0 or int(ends[-1]) + base <= len(buf))
+            ):
+                raise ValueError("inconsistent shard index")
+        except MemoryError:
+            return None
+        except Exception:
+            # Truncated or corrupt shard: drop it and let the sweep
+            # rebuild (or re-migrate) its rows.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return digests, offsets, ends, buf, base
+
+    def _write_shard_raw(
+        self, shard_digest: str, blobs: dict[bytes, bytes]
+    ) -> Path:
+        """Atomically write a shard from ``{binary digest: pickle}``."""
+        path = self.shard_path(shard_digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        ordered = sorted(blobs)
+        lengths = np.array([len(blobs[d]) for d in ordered], dtype=np.int64)
+        ends = np.cumsum(lengths, dtype=np.int64)
+        offsets = ends - lengths
+        digests = np.array(ordered, dtype="S32")
+        tmp = path.parent / f".{shard_digest}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_SHARD_MAGIC)
+                np.lib.format.write_array(fh, digests, allow_pickle=False)
+                np.lib.format.write_array(fh, offsets, allow_pickle=False)
+                np.lib.format.write_array(fh, ends, allow_pickle=False)
+                for digest in ordered:
+                    fh.write(blobs[digest])
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return path
+
+    # -- batch interface ------------------------------------------------
+
+    def get_results_batch(
+        self,
+        shard_digest: str,
+        entries: Sequence[tuple[str, str]],
+        *,
+        _retry: bool = True,
+    ) -> tuple[list[Any], dict[str, Any]]:
+        """Look up many session results of one shard group at once.
+
+        ``entries`` is a sequence of ``(job digest, legacy results
+        key)`` pairs.  Returns ``(results, migrated)``: ``results`` has
+        one entry per input (``None`` on miss), and ``migrated`` maps
+        job digests to results that were served from legacy per-session
+        pickles and should be folded into the shard by the caller's
+        next :meth:`merge_shard` so future runs need only the shard.
+
+        Every row is counted in the ``results`` hit/miss stats exactly
+        once, shard-served or legacy-served.
+        """
+        raw = self._read_shard_raw(shard_digest)
+        results: list[Any] = [None] * len(entries)
+        hits: list[bool] = [False] * len(entries)
+        shard_hits = 0
+        if raw is not None and len(raw[0]):
+            digests, offsets, ends, buf, base = raw
+            want = np.frombuffer(
+                bytes.fromhex("".join([digest for digest, _ in entries])),
+                dtype="S32",
+            )
+            # Search on a big-endian u64 view of each digest's first 8
+            # bytes: same sort order as the S32 column but ~2x faster
+            # to compare.  Exact whenever no two shard digests share a
+            # prefix (anything else is a SHA-256 near-collision); the
+            # astronomically-rare duplicate falls back to the full
+            # lexicographic search.
+            prefix = digests.view(">u8")[::4]
+            if len(prefix) > 1 and (prefix[1:] == prefix[:-1]).any():
+                pos = np.searchsorted(digests, want)
+            else:
+                pos = np.searchsorted(
+                    prefix, np.ascontiguousarray(want.view(">u8")[::4])
+                )
+            clipped = np.minimum(pos, len(digests) - 1)
+            hits = (digests[clipped] == want).tolist()
+            starts = (offsets[clipped] + base).tolist()
+            stops = (ends[clipped] + base).tolist()
+            loads = pickle.loads
+            view = memoryview(buf)  # slice without copying each row
+            try:
+                for i, hit in enumerate(hits):
+                    if hit:
+                        results[i] = loads(view[starts[i] : stops[i]])
+                        shard_hits += 1
+            except MemoryError:
+                raise
+            except Exception:
+                # A valid index over a corrupt payload: drop the shard
+                # and serve the whole batch from scratch.
+                try:
+                    self.shard_path(shard_digest).unlink()
+                except OSError:
+                    pass
+                if _retry:
+                    return self.get_results_batch(
+                        shard_digest, entries, _retry=False
+                    )
+                raise
+        self.stats.record(self.stats.hits, "results", shard_hits)
+        if shard_hits == len(entries):  # fully warm: no legacy fallback
+            return results, {}
+
+        migrated: dict[str, Any] = {}
+        for i, (job_digest, legacy_key) in enumerate(entries):
+            if hits[i]:
+                continue
+            obj = self.get("results", legacy_key)  # counts hit or miss
+            if obj is not None:
+                results[i] = obj
+                migrated[job_digest] = obj
+        return results, migrated
+
+    def merge_shard(self, shard_digest: str, entries: dict[str, Any]) -> Path:
+        """Append-merge ``{job digest: result}`` into a shard.
+
+        Existing columns are carried over as raw bytes (never
+        deserialized); a digest present on both sides takes the new
+        value.  The read-merge-replace cycle holds an exclusive lock so
+        concurrent writers cannot overwrite each other's merges, and
+        the final write is the usual temp-file + ``os.replace``.
+        """
+        path = self.shard_path(shard_digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = path.parent / f".{shard_digest}.lock"
+        with _merge_lock(lock_path):
+            blobs: dict[bytes, bytes] = {}
+            raw = self._read_shard_raw(shard_digest)
+            if raw is not None:
+                digests, offsets, ends, buf, base = raw
+                starts = (offsets + base).tolist()
+                stops = (ends + base).tolist()
+                for digest, start, stop in zip(
+                    digests.tolist(), starts, stops
+                ):
+                    blobs[digest] = buf[start:stop]
+            for job_digest, obj in entries.items():
+                blobs[bytes.fromhex(_validate_digest(job_digest))] = (
+                    pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            self._write_shard_raw(shard_digest, blobs)
+        self.stats.record(self.stats.writes, "results", len(entries))
+        return path

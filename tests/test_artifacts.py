@@ -13,7 +13,9 @@ The load-bearing properties:
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 
 import pytest
 
@@ -177,6 +179,74 @@ class TestArtifactStore:
         store.put("ptiles", content_digest(1), "a")
         store.put("manifest", content_digest(2), "b")
         assert store.clear() == 2
+        assert store.size_bytes() == 0
+
+    def test_memory_error_is_a_miss_but_file_survives(self, tmp_path,
+                                                      monkeypatch):
+        """A transient OOM must not be treated as corruption: the entry
+        stays on disk and a later load (with memory back) hits."""
+        store = ArtifactStore(tmp_path)
+        digest = content_digest("big")
+        path = store.put("results", digest, {"payload": list(range(50))})
+
+        def oom(*args, **kwargs):
+            raise MemoryError
+
+        monkeypatch.setattr(pickle, "load", oom)
+        assert store.get("results", digest) is None
+        assert path.exists()  # NOT unlinked, unlike a corrupt pickle
+        assert store.stats.misses == {"results": 1}
+
+        monkeypatch.undo()
+        assert store.get("results", digest) == {"payload": list(range(50))}
+
+    def test_malformed_digest_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in (
+            "../../../../etc/passwd",
+            "deadbeef",  # too short
+            content_digest("x").upper(),  # not lowercase hex
+            content_digest("x")[:-1] + "/",
+            content_digest("x") + "00",  # too long
+            "g" * 64,  # right length, not hex
+            "",
+        ):
+            with pytest.raises(ValueError):
+                store.path_for("results", bad)
+            with pytest.raises(ValueError):
+                store.get("results", bad)
+            with pytest.raises(ValueError):
+                store.put("results", bad, "payload")
+
+    def test_path_stays_inside_kind_directory(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.path_for("ptiles", content_digest("x"))
+        assert path.parent == tmp_path / "ptiles"
+
+    def test_stale_tmp_files_swept(self, tmp_path):
+        """A crashed writer's temp file is invisible to the glob-based
+        clear()/size_bytes(); the age-gated sweep reclaims it while a
+        fresh (possibly live) writer's file is left alone."""
+        store = ArtifactStore(tmp_path, stale_tmp_age_s=60.0)
+        store.put("results", content_digest("keep"), "v")
+        kind_dir = tmp_path / "results"
+
+        stale = kind_dir / f".{content_digest('dead')}.12345.tmp"
+        stale.write_bytes(b"x" * 100)
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        fresh = kind_dir / f".{content_digest('live')}.12346.tmp"
+        fresh.write_bytes(b"y" * 100)
+
+        size = store.size_bytes()
+        assert not stale.exists()  # orphan reclaimed
+        assert fresh.exists()  # live writer untouched
+        assert size >= 100  # fresh tmp is counted while it exists
+
+        os.utime(fresh, (old, old))
+        removed = store.clear()
+        assert removed == 2  # the artifact + the now-stale tmp
+        assert not fresh.exists()
         assert store.size_bytes() == 0
 
     def test_default_root(self, monkeypatch, tmp_path):

@@ -41,6 +41,31 @@ class TestParser:
         args = parser.parse_args(["fig9", "--no-artifact-cache"])
         assert args.no_artifact_cache
 
+    def test_results_store_defaults_to_sharded(self, tmp_path):
+        from repro.cli import _results_store
+        from repro.experiments.artifacts import (
+            ArtifactStore,
+            ShardedResultsStore,
+        )
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fig9", "--results-cache", str(tmp_path)]
+        )
+        assert not args.legacy_results_cache
+        store = _results_store(args)
+        assert type(store) is ShardedResultsStore
+
+        args = parser.parse_args(
+            ["fig9", "--results-cache", str(tmp_path),
+             "--legacy-results-cache"]
+        )
+        store = _results_store(args)
+        assert type(store) is ArtifactStore
+
+        args = parser.parse_args(["fig9", "--no-results-cache"])
+        assert _results_store(args) is None
+
     def test_shared_cache_flag_defaults(self):
         parser = build_parser()
         args = parser.parse_args(["shared-cache"])
