@@ -86,6 +86,13 @@ def extract_metrics(report: dict) -> dict[str, float]:
         "resilience_overhead_ratio": _extra(
             report, "test_resilience_layer_overhead", "overhead_ratio"
         ),
+        "population_engine_speedup": _extra(
+            report, "test_population_engine_speedup", "population_speedup"
+        ),
+        "population_sessions_per_second": _extra(
+            report, "test_population_engine_speedup",
+            "population_sessions_per_second"
+        ),
     }
 
 

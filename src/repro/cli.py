@@ -58,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3",
             "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "ablation", "shared-cache", "resilience",
-            "report", "all",
+            "population", "report", "all",
         ],
         help="which table/figure to regenerate",
     )
@@ -149,6 +149,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the deterministic fault plans (resilience "
              "experiment); a fixed (profile, seed) pair always yields "
              "byte-identical sessions",
+    )
+    parser.add_argument(
+        "--arrival-rate", type=float, default=0.5,
+        help="mean session arrivals per second (population experiment)",
+    )
+    parser.add_argument(
+        "--diurnal-amplitude", type=float, default=0.3,
+        help="sinusoidal swing of the arrival rate in [0, 1) "
+             "(population experiment; 0 = homogeneous Poisson)",
+    )
+    parser.add_argument(
+        "--arrival-window", type=float, default=120.0,
+        help="seconds of arrivals to simulate (population experiment)",
+    )
+    parser.add_argument(
+        "--population-scheme", default="ours",
+        choices=("ctile", "ptile", "ours"),
+        help="streaming scheme the population runs (population "
+             "experiment; the batched engine supports these three)",
     )
     parser.add_argument(
         "--retry-budget", type=int, default=2,
@@ -300,6 +319,33 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
               f"timeout slack {args.timeout_slack:g}s) --")
         for point in points:
             print(point.report())
+    elif name == "population":
+        from .experiments import run_population
+        from .traces.arrivals import DiurnalPoissonArrivals
+
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           video_ids=(8,),
+                           artifacts=_artifact_store(args))
+        arrivals = DiurnalPoissonArrivals(
+            rate_per_s=args.arrival_rate,
+            amplitude=args.diurnal_amplitude,
+            # diurnal cycle compressed onto the simulated window so the
+            # swing is visible inside short runs
+            period_s=max(args.arrival_window, 1.0),
+            seed=args.seed,
+        )
+        summary = run_population(
+            setup,
+            get_device(args.device),
+            scheme_name=args.population_scheme,
+            arrivals=arrivals,
+            window_s=args.arrival_window,
+        )
+        print(f"-- population ({args.population_scheme}, "
+              f"rate {args.arrival_rate:g}/s, "
+              f"amplitude {args.diurnal_amplitude:g}, "
+              f"window {args.arrival_window:g}s) --")
+        print(summary.report())
     elif name == "ablation":
         from .experiments import (
             make_setup as _make_setup,
@@ -413,6 +459,12 @@ def _main(argv: list[str] | None) -> int:
         parser.error("--retry-budget must be >= 0 (0 = no retries)")
     if args.timeout_slack < 0:
         parser.error("--timeout-slack must be >= 0 seconds")
+    if args.arrival_rate <= 0:
+        parser.error("--arrival-rate must be positive")
+    if not 0.0 <= args.diurnal_amplitude < 1.0:
+        parser.error("--diurnal-amplitude must be in [0, 1)")
+    if args.arrival_window <= 0:
+        parser.error("--arrival-window must be positive")
     if args.experiment == "all":
         names = [
             "table1", "table2", "table3",

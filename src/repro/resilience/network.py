@@ -67,9 +67,14 @@ class FaultyNetwork:
         deadline = start_t + budget_s
         bin_s = self.base.bin_seconds
         guard = 0
+        # Base traces may contain zero-bandwidth bins; size the bound on
+        # the positive minimum (the deadline term alone already bounds
+        # the loop, since t advances every iteration).
+        base_bw = self.base.bandwidth_mbps
+        positive_min = float(base_bw[base_bw > 0].min()) if (base_bw > 0).any() else 0.0
         max_iterations = (
-            10 * self.base.bandwidth_mbps.size
-            + int(size_mbit / min(self.base.bandwidth_mbps))
+            10 * base_bw.size
+            + (int(size_mbit / positive_min) if positive_min > 0 else 0)
             + int(budget_s / bin_s)
             + 4 * (len(self.plan.outages) + len(self.plan.collapses))
             + 16

@@ -28,6 +28,7 @@ from .metrics import (
     normalize_by,
 )
 from .multiclient import SharedLinkResult, capacity_sweep, run_shared_link
+from .population import PopulationEngine, PopulationResult
 from .schemes import (
     CtileScheme,
     DownloadPlan,
@@ -61,6 +62,8 @@ __all__ = [
     "SharedLinkResult",
     "capacity_sweep",
     "run_shared_link",
+    "PopulationEngine",
+    "PopulationResult",
     "FtileCell",
     "FtilePartition",
     "build_ftile_partition",

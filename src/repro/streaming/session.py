@@ -124,8 +124,14 @@ def run_session(
     buffer = PlaybackBuffer(config.buffer_threshold_s, config.segment_seconds)
     bandwidth = HarmonicMeanEstimator(config.bandwidth_window)
     # Startup probe: the client measures throughput while fetching the
-    # manifest/metadata before the first segment request.
-    bandwidth.add(network.bandwidth_at(0.0))
+    # manifest/metadata before the first segment request.  A trace may
+    # open inside an outage second (zero-bandwidth bin), which the
+    # harmonic-mean estimator rejects; probe forward to the first
+    # positive sample instead.
+    probe = network.bandwidth_at(0.0)
+    if probe <= 0:
+        probe = network.next_positive_bandwidth(0.0)
+    bandwidth.add(probe)
     if config.predictor_factory is not None:
         predictor = config.predictor_factory(
             head_trace, config.fov_deg, config.predictor_window_s
@@ -185,7 +191,7 @@ def run_session(
             predicted_vp = head_trace.viewport_at(0.0, config.fov_deg)
             predicted_speed = 0.0
 
-        horizon_end = min(k + config.horizon, manifest.num_segments)
+        horizon_end = min(k + config.horizon, length)
         ctx = PlanContext(
             segment_index=k,
             manifest=manifest[k],
@@ -262,8 +268,12 @@ def run_session(
                 # An instantaneous download (empty or negligible payload)
                 # carries no throughput ratio; feed the trace's current
                 # bandwidth instead of dropping the sample so the
-                # harmonic-mean estimator does not go stale.
-                bandwidth.add(network.bandwidth_at(wall_t))
+                # harmonic-mean estimator does not go stale.  Skip the
+                # sample inside a zero-bandwidth bin (the estimator
+                # rejects non-positive values).
+                sample = network.bandwidth_at(wall_t)
+                if sample > 0:
+                    bandwidth.add(sample)
         event = buffer.advance(download_time)
         wall_t += download_time
 

@@ -1,5 +1,6 @@
 """Traces substrate: head movement, synthetic users, network, dataset."""
 
+from .arrivals import DiurnalPoissonArrivals, assign_users
 from .dataset import EvaluationDataset, build_dataset
 from .formats import (
     load_angle_trace,
@@ -17,6 +18,8 @@ from .synthetic_users import (
 )
 
 __all__ = [
+    "DiurnalPoissonArrivals",
+    "assign_users",
     "EvaluationDataset",
     "build_dataset",
     "load_angle_trace",

@@ -38,8 +38,8 @@ class NetworkTrace:
         bw = np.asarray(self.bandwidth_mbps, dtype=float)
         if bw.ndim != 1 or bw.size == 0:
             raise ValueError("bandwidth must be a non-empty 1D array")
-        if np.any(bw <= 0):
-            raise ValueError("bandwidth must be strictly positive")
+        if np.any(bw < 0):
+            raise ValueError("bandwidth must be non-negative")
         if self.bin_seconds <= 0:
             raise ValueError("bin duration must be positive")
         object.__setattr__(self, "bandwidth_mbps", bw)
@@ -55,6 +55,25 @@ class NetworkTrace:
         index = int(t / self.bin_seconds) % self.bandwidth_mbps.size
         return float(self.bandwidth_mbps[index])
 
+    def next_positive_bandwidth(self, t: float) -> float:
+        """First strictly positive bandwidth sample at or after ``t``.
+
+        Traces may contain zero-bandwidth bins (outage seconds); this
+        scans forward cyclically until the link comes back.  Identical
+        to :meth:`bandwidth_at` on all-positive traces.
+        """
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        bw = self.bandwidth_mbps
+        start = int(t / self.bin_seconds) % bw.size
+        for offset in range(bw.size):
+            sample = float(bw[(start + offset) % bw.size])
+            if sample > 0:
+                return sample
+        raise ValueError(
+            f"trace {self.name!r} has no positive bandwidth anywhere"
+        )
+
     def download_time(self, size_mbit: float, start_t: float) -> float:
         """Seconds needed to download ``size_mbit`` starting at ``start_t``.
 
@@ -67,12 +86,21 @@ class NetworkTrace:
             raise ValueError("start time must be non-negative")
         if size_mbit == 0:
             return 0.0
+        positive = self.bandwidth_mbps[self.bandwidth_mbps > 0]
+        if positive.size == 0:
+            raise ValueError(
+                f"cannot download {size_mbit:g} Mbit: trace "
+                f"{self.name!r} has zero bandwidth everywhere"
+            )
         remaining = size_mbit
         t = start_t
         elapsed = 0.0
         guard = 0
-        max_iterations = 10 * self.bandwidth_mbps.size + int(
-            size_mbit / float(self.bandwidth_mbps.min())
+        # Bound the bin crossings: even if only one bin per cycle is
+        # positive, each cycle delivers at least positive.min() * bin_s.
+        num_bins = self.bandwidth_mbps.size
+        max_iterations = num_bins * (
+            10 + int(size_mbit / (float(positive.min()) * self.bin_seconds))
         ) + 16
         while remaining > 1e-12:
             bw = self.bandwidth_at(t)
@@ -114,6 +142,11 @@ class NetworkTrace:
             return 0.0, 0.0, True
         if budget_s == 0:
             return 0.0, 0.0, False
+        if not np.any(self.bandwidth_mbps > 0):
+            # A dead link delivers nothing: the whole budget elapses with
+            # zero bytes (a timeout, not an error — callers treat partial
+            # delivery as a deadline miss and degrade or retry).
+            return 0.0, budget_s, False
         remaining = size_mbit
         t = start_t
         deadline = start_t + budget_s

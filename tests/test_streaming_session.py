@@ -218,3 +218,109 @@ class TestEdgeModel:
                       config=SessionConfig(edge_model=model))
         assert result.num_segments == manifest2.num_segments
         assert all(r.download_time_s >= 0.0 for r in result.records)
+
+
+class TestZeroBandwidthBins:
+    """Regression: zero-bandwidth trace bins must not crash the loop."""
+
+    def _zero_start_trace(self):
+        import numpy as np
+        from repro.traces import NetworkTrace
+
+        return NetworkTrace("outage-start", np.array([0.0] + [5.0] * 60))
+
+    def test_zero_bin_at_startup(self, small_dataset, manifest2, device):
+        # The startup probe lands in the dead bin; it must probe forward
+        # instead of feeding 0 to the harmonic-mean estimator.
+        head = small_dataset.test_traces(2)[0]
+        result = run_session(
+            CtileScheme(), manifest2, head, self._zero_start_trace(), device,
+            config=SessionConfig(max_segments=4),
+        )
+        assert result.num_segments == 4
+        assert all(r.download_time_s >= 0 for r in result.records)
+
+    def test_zero_bin_mid_session_instant_download(
+        self, small_dataset, manifest2, device
+    ):
+        # A size-0 plan makes the download instantaneous, which samples
+        # the trace at wall_t as a fallback; inside a dead bin the
+        # sample must be skipped, not fed to the estimator.
+        import numpy as np
+
+        from repro.power import TilingScheme as _TS
+        from repro.streaming import DownloadPlan
+        from repro.traces import NetworkTrace
+
+        class EmptyScheme:
+            name = "empty"
+
+            def plan(self, ctx):
+                return DownloadPlan(
+                    scheme_name=self.name,
+                    quality=1,
+                    frame_rate=ctx.fps,
+                    total_size_mbit=0.0,
+                    decode_scheme=_TS.CTILE,
+                )
+
+        trace = NetworkTrace("mostly-dead", np.array([0.0, 1.0, 0.0, 0.0]))
+        head = small_dataset.test_traces(2)[0]
+        result = run_session(
+            EmptyScheme(), manifest2, head, trace, device,
+            config=SessionConfig(max_segments=6),
+        )
+        assert result.num_segments == 6
+
+
+class TestTruncatedHorizon:
+    """Regression: MPC lookahead must respect max_segments truncation."""
+
+    def test_future_manifests_clipped_to_truncated_length(
+        self, small_dataset, manifest2, network_traces, device
+    ):
+        max_segments = 5
+
+        class SpyScheme(CtileScheme):
+            seen: list = []
+
+            def plan(self, ctx):
+                for m in ctx.future_manifests:
+                    SpyScheme.seen.append(m.segment_index)
+                return super().plan(ctx)
+
+        SpyScheme.seen = []
+        _run(SpyScheme(), manifest2, small_dataset, network_traces, device,
+             config=SessionConfig(max_segments=max_segments))
+        assert SpyScheme.seen, "scheme never saw a lookahead window"
+        assert max(SpyScheme.seen) == max_segments - 1
+
+    def test_ours_plans_match_prefix_manifest(
+        self, small_dataset, manifest2, network_traces, device, ptiles2
+    ):
+        # Planning a truncated session must equal planning a video that
+        # physically ends at the truncation point: with the horizon
+        # clipped to the truncated length, OursScheme's MPC can no
+        # longer see (and plan against) segments that will never play.
+        from repro.core import OursScheme
+
+        head = small_dataset.test_traces(2)[0]
+        max_segments = manifest2.num_segments - 3
+        truncated = run_session(
+            OursScheme(device), manifest2, head, network_traces[1], device,
+            ptiles=ptiles2,
+            config=SessionConfig(max_segments=max_segments),
+        )
+        full = run_session(
+            OursScheme(device), manifest2, head, network_traces[1], device,
+            ptiles=ptiles2,
+        )
+        # The tail segments (inside the final horizon window) now see a
+        # shorter lookahead than the full run did, so the truncated run
+        # is NOT simply the full run's prefix once the horizon matters.
+        assert truncated.num_segments == max_segments
+        for rec_t, rec_f in zip(
+            truncated.records[: max_segments - 5], full.records
+        ):
+            assert rec_t.quality == rec_f.quality
+            assert rec_t.size_mbit == rec_f.size_mbit

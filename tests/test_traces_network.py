@@ -11,9 +11,27 @@ class TestNetworkTrace:
         with pytest.raises(ValueError):
             NetworkTrace("x", np.array([]))
         with pytest.raises(ValueError):
-            NetworkTrace("x", np.array([1.0, 0.0]))
+            NetworkTrace("x", np.array([1.0, -0.5]))
         with pytest.raises(ValueError):
             NetworkTrace("x", np.array([1.0]), bin_seconds=0.0)
+
+    def test_zero_bins_allowed(self):
+        # Outage seconds (zero bandwidth) are legal trace content.
+        trace = NetworkTrace("x", np.array([0.0, 2.0]))
+        assert trace.bandwidth_at(0.5) == 0.0
+        assert trace.bandwidth_at(1.5) == 2.0
+
+    def test_next_positive_bandwidth(self):
+        trace = NetworkTrace("x", np.array([0.0, 0.0, 3.0, 1.0]))
+        assert trace.next_positive_bandwidth(0.0) == 3.0
+        assert trace.next_positive_bandwidth(2.5) == 3.0
+        assert trace.next_positive_bandwidth(3.0) == 1.0
+        # Positive traces: identical to bandwidth_at.
+        positive = NetworkTrace("x", np.array([1.0, 2.0]))
+        assert positive.next_positive_bandwidth(1.2) == positive.bandwidth_at(1.2)
+        dead = NetworkTrace("dead", np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            dead.next_positive_bandwidth(0.0)
 
     def test_bandwidth_at(self):
         trace = NetworkTrace("x", np.array([1.0, 2.0, 4.0]))
@@ -69,6 +87,25 @@ class TestDownloadTime:
             trace.download_time(-1.0, 0.0)
         with pytest.raises(ValueError):
             trace.download_time(1.0, -0.5)
+
+    def test_zero_bin_stalls_then_completes(self):
+        trace = NetworkTrace("x", np.array([0.0, 2.0]))
+        # Bin 0 delivers nothing; 1 Mbit then takes 0.5 s of bin 1.
+        assert trace.download_time(1.0, 0.0) == pytest.approx(1.5)
+
+    def test_all_zero_trace_raises(self):
+        dead = NetworkTrace("dead", np.array([0.0, 0.0, 0.0]))
+        with pytest.raises(ValueError, match="zero bandwidth everywhere"):
+            dead.download_time(1.0, 0.0)
+        # Zero payload still completes instantly.
+        assert dead.download_time(0.0, 0.0) == 0.0
+
+    def test_all_zero_trace_bounded_download_times_out(self):
+        dead = NetworkTrace("dead", np.array([0.0, 0.0]))
+        delivered, elapsed, completed = dead.download_within(4.0, 0.0, 3.0)
+        assert delivered == 0.0
+        assert elapsed == 3.0
+        assert not completed
 
     def test_consistency_with_mean_throughput(self):
         rng = np.random.default_rng(1)
