@@ -28,6 +28,12 @@ Two kinds of metric, with deliberately different strictness:
   must stay *small*, such as the resilient download engine's wall-time
   overhead relative to the legacy faults-off path.  Scale-invariant
   like the floors, so they get a hard ceiling.
+
+* **Recorded metrics** (``record``) — tracked for trend visibility but
+  never failed, such as the decision service's p50/p99 flood latency:
+  those scale with both hardware and the benchmark's request count, so
+  a threshold would only flake.  ``--update`` refreshes them like any
+  other baseline.
 """
 
 from __future__ import annotations
@@ -93,6 +99,20 @@ def extract_metrics(report: dict) -> dict[str, float]:
             report, "test_population_engine_speedup",
             "population_sessions_per_second"
         ),
+        "serving_batched_speedup": _extra(
+            report, "test_serving_batched_vs_sequential",
+            "serving_batched_speedup"
+        ),
+        "serving_decisions_per_second": _extra(
+            report, "test_serving_batched_vs_sequential",
+            "serving_decisions_per_second"
+        ),
+        "serving_p50_ms": _extra(
+            report, "test_serving_batched_vs_sequential", "serving_p50_ms"
+        ),
+        "serving_p99_ms": _extra(
+            report, "test_serving_batched_vs_sequential", "serving_p99_ms"
+        ),
     }
 
 
@@ -126,9 +146,12 @@ def check(metrics: dict[str, float], baseline: dict) -> list[str]:
                     f"{name}: {value:.3f} above hard ceiling {threshold:.3f}"
                     f" (baseline {spec['baseline']:.3f})"
                 )
+        elif spec.get("record"):
+            pass  # tracked for visibility only, never gated
         else:
             failures.append(
-                f"{name}: baseline entry has no floor/min_fraction/ceiling"
+                f"{name}: baseline entry has no "
+                "floor/min_fraction/ceiling/record"
             )
     return failures
 

@@ -58,9 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3",
             "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "ablation", "shared-cache", "resilience",
-            "population", "report", "all",
+            "population", "serve", "report", "all",
         ],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate (or 'serve' to run the "
+             "online decision service)",
     )
     parser.add_argument(
         "--duration", type=int, default=120,
@@ -168,6 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("ctile", "ptile", "ours"),
         help="streaming scheme the population runs (population "
              "experiment; the batched engine supports these three)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7360,
+        help="TCP port of the decision service (serve command; 0 picks "
+             "an ephemeral port)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="most plan requests coalesced into one vectorized MPC "
+             "pass (serve command)",
+    )
+    parser.add_argument(
+        "--batch-wait-us", type=float, default=200.0,
+        help="microseconds the dispatcher waits after the first queued "
+             "request for co-arrivals before serving the batch (serve "
+             "command; 0 = only coalesce what already queued)",
+    )
+    parser.add_argument(
+        "--videos", metavar="ID[,ID...]", default="8",
+        help="video ids the decision service builds plan tables for "
+             "(serve command)",
     )
     parser.add_argument(
         "--retry-budget", type=int, default=2,
@@ -346,6 +368,33 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
               f"amplitude {args.diurnal_amplitude:g}, "
               f"window {args.arrival_window:g}s) --")
         print(summary.report())
+    elif name == "serve":
+        from .serving import DecisionService, ServiceConfig, build_planners
+        from .serving import run_server
+
+        videos = args.videos_parsed
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           video_ids=videos,
+                           artifacts=_artifact_store(args))
+        planners = build_planners(setup, videos,
+                                  device=get_device(args.device),
+                                  workers=args.workers)
+        service = DecisionService(planners, ServiceConfig(
+            max_batch=args.max_batch, batch_wait_us=args.batch_wait_us,
+        ))
+
+        def _on_ready(port: int) -> None:
+            print(f"decision service: videos {sorted(planners)} on "
+                  f"127.0.0.1:{port} (max batch {args.max_batch}, "
+                  f"batch wait {args.batch_wait_us:g}us); Ctrl-C stops",
+                  flush=True)
+
+        run_server(service, port=args.port, on_ready=_on_ready)
+        snap = service.stats.snapshot()
+        print(f"served {snap['requests']} request(s) in "
+              f"{snap['batches']} batch(es), mean batch "
+              f"{snap['mean_batch_size']:.2f}, p50 {snap['p50_ms']:.3f}ms, "
+              f"p99 {snap['p99_ms']:.3f}ms, {snap['errors']} error(s)")
     elif name == "ablation":
         from .experiments import (
             make_setup as _make_setup,
@@ -445,6 +494,13 @@ def _main(argv: list[str] | None) -> int:
     args.fault_profiles_parsed = _parse_csv(
         args.fault_profile, str.strip, "--fault-profile", parser
     )
+    args.videos_parsed = _parse_csv(args.videos, int, "--videos", parser)
+    if not 0 <= args.port <= 65535:
+        parser.error("--port must be in [0, 65535]")
+    if args.max_batch < 1:
+        parser.error("--max-batch must be >= 1")
+    if args.batch_wait_us < 0:
+        parser.error("--batch-wait-us must be >= 0")
     from .resilience.faults import FAULT_PROFILES
 
     unknown_profiles = [

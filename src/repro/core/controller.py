@@ -15,6 +15,7 @@ For each segment the client:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 
 from ..power.energy import EnergyModel
@@ -70,6 +71,25 @@ class OursScheme:
     def __post_init__(self) -> None:
         object.__setattr__(self, "_mpc_cache", {})
         object.__setattr__(self, "_tables_cache", {})
+        # Serializes first-build of both memos so one scheme instance
+        # can plan for many threads (the decision service does); cache
+        # hits stay lock-free (dict.get is atomic under the GIL) and
+        # cached values are never mutated.
+        object.__setattr__(self, "_memo_lock", threading.Lock())
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle (sweep workers receive schemes through a
+        # process pool); the memo caches are pure and rebuild lazily.
+        state = self.__dict__.copy()
+        state.pop("_memo_lock", None)
+        state["_mpc_cache"] = {}
+        state["_tables_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
 
     def plan(self, ctx: PlanContext) -> DownloadPlan:
         if ctx.segment_ptiles is None:
@@ -101,15 +121,21 @@ class OursScheme:
     def _mpc(self, segment_seconds: float) -> EnergyQoEMpc:
         mpc = self._mpc_cache.get(segment_seconds)
         if mpc is None:
-            config = self.mpc_config
-            if config.segment_seconds != segment_seconds:
-                # The DP buffer dynamics must advance by the *session's*
-                # segment duration, not the config default.
-                config = replace(config, segment_seconds=segment_seconds)
-            mpc = EnergyQoEMpc(
-                EnergyModel(self.device, segment_seconds), config
-            )
-            self._mpc_cache[segment_seconds] = mpc
+            with self._memo_lock:
+                mpc = self._mpc_cache.get(segment_seconds)
+                if mpc is None:
+                    config = self.mpc_config
+                    if config.segment_seconds != segment_seconds:
+                        # The DP buffer dynamics must advance by the
+                        # *session's* segment duration, not the config
+                        # default.
+                        config = replace(
+                            config, segment_seconds=segment_seconds
+                        )
+                    mpc = EnergyQoEMpc(
+                        EnergyModel(self.device, segment_seconds), config
+                    )
+                    self._mpc_cache[segment_seconds] = mpc
         return mpc
 
     def _plan_tables(self, ctx: PlanContext) -> PlanTables:
@@ -131,13 +157,7 @@ class OursScheme:
                 ctx.fps,
                 rates,
             )
-            tables = self._tables_cache.get(key)
-            if tables is None:
-                tables = PlanTables(
-                    tuple(video), rates, ctx.fps, self.quality_model
-                )
-                self._tables_cache[key] = tables
-            return tables
+            return self._tables_for(key, tuple(video), ctx.fps)
         manifests = ctx.future_manifests or (ctx.manifest,)
         key = (
             ctx.manifest.video_id,
@@ -146,12 +166,19 @@ class OursScheme:
             ctx.fps,
             rates,
         )
+        return self._tables_for(key, tuple(manifests), ctx.fps)
+
+    def _tables_for(self, key: tuple, manifests: tuple, fps: float) -> PlanTables:
         tables = self._tables_cache.get(key)
         if tables is None:
-            tables = PlanTables(
-                tuple(manifests), rates, ctx.fps, self.quality_model
-            )
-            self._tables_cache[key] = tables
+            with self._memo_lock:
+                tables = self._tables_cache.get(key)
+                if tables is None:
+                    tables = PlanTables(
+                        manifests, self.ladder.rates(), fps,
+                        self.quality_model,
+                    )
+                    self._tables_cache[key] = tables
         return tables
 
     def _fallback_plan(self, ctx: PlanContext) -> DownloadPlan:

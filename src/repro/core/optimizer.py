@@ -352,6 +352,216 @@ class EnergyQoEMpc:
             planned_energy_j=float(costs[best_state]),
         )
 
+    def choose_batch(
+        self,
+        sizes_mbit: np.ndarray,
+        qoe: np.ndarray,
+        frame_rates: tuple[float, ...],
+        bandwidths_mbps: np.ndarray,
+        buffers_s: np.ndarray,
+    ) -> list[MpcDecision]:
+        """Solve B same-shape windows in one dense DP pass.
+
+        ``sizes_mbit`` and ``qoe`` are stacked ``(B, H, V, F)`` tensors
+        (one :class:`MpcWindow` per batch row, all sharing one
+        frame-rate ladder and horizon length); ``bandwidths_mbps`` and
+        ``buffers_s`` are per-request ``(B,)`` vectors.  Returns the
+        per-request decisions in batch order, bit-identical to calling
+        :meth:`choose` once per row.
+
+        Identity with the scalar DP is not just numerical but
+        *order-exact*: the scalar scan resolves equal-cost ties by dict
+        insertion order (first state reaching a buffer level owns its
+        slot until strictly beaten, and the final ``min`` keeps the
+        earliest inserted state among equals).  The dense pass carries
+        that order explicitly as an integer rank per (request, state):
+        candidate keys ``rank * J + j`` reproduce the (state insertion,
+        version index) scan order, winners take the minimal key among
+        equal-minimal costs, and next-step ranks are assigned by each
+        state's first-reach key.  Ties between float-identical paths —
+        common when consecutive segments share size tables — therefore
+        break exactly as in :meth:`choose`.
+        """
+        sizes = np.asarray(sizes_mbit, dtype=float)
+        qo_all = np.asarray(qoe, dtype=float)
+        if sizes.ndim != 4 or sizes.shape != qo_all.shape:
+            raise ValueError("sizes and qoe must be equal-shape (B, H, V, F)")
+        bandwidths = np.asarray(bandwidths_mbps, dtype=float)
+        buffers = np.asarray(buffers_s, dtype=float)
+        batch = sizes.shape[0]
+        if bandwidths.shape != (batch,) or buffers.shape != (batch,):
+            raise ValueError("bandwidths and buffers must be (B,) vectors")
+        if batch == 0:
+            return []
+        if np.any(bandwidths <= 0):
+            raise ValueError("bandwidth must be positive")
+
+        cfg = self.config
+        horizon = min(sizes.shape[1], cfg.horizon)
+        v_count = sizes.shape[2]
+        f_count = sizes.shape[3]
+        n_versions = v_count * f_count
+        num_states = cfg.num_states
+        levels = cfg.state_levels()
+        seg_s = cfg.segment_seconds
+        threshold = cfg.buffer_threshold_s
+        gran = cfg.buffer_granularity_s
+        one_minus_eps = 1.0 - cfg.qoe_tolerance
+        trans_w = self.energy_model.device.transmission_mw * 1e-3
+
+        bw = bandwidths * cfg.bandwidth_safety
+        # Same elementwise ops as the scalar path, broadcast over B.
+        dl = sizes[:, :horizon] / bw[:, None, None, None]  # (B, H, V, F)
+        decode_j, render_j = self._rate_energies(frame_rates)
+        energy = trans_w * dl + decode_j + render_j
+        qo = qo_all[:, :horizon]
+
+        dl_flat = dl.reshape(batch, horizon, n_versions)
+        qo_flat = qo.reshape(batch, horizon, n_versions)
+        en_flat = energy.reshape(batch, horizon, n_versions)
+        dl_top = dl[:, :, :, f_count - 1]  # (B, H, V)
+        qo_top = qo[:, :, :, f_count - 1]
+
+        b_idx = np.arange(batch)
+        j_idx = np.arange(n_versions, dtype=np.int32)
+        big_key = np.int32(num_states * n_versions)  # > any rank * J + j
+        cap = np.minimum(seg_s, levels)  # (S,)
+        src_state = np.repeat(np.arange(num_states), n_versions)
+        src_j = np.tile(j_idx, num_states)
+        rank_fill = np.broadcast_to(
+            np.arange(num_states, dtype=np.int32), (batch, num_states)
+        )
+        t_range = np.arange(num_states)[None, :, None]
+        # ``np.where`` and masked (``where=``) reductions are an order
+        # of magnitude slower than plain ufuncs on the (B, S, S*J)
+        # working set, so masking is done arithmetically: excluded
+        # entries get a huge additive penalty and plain min/argmin do
+        # the selection.  Unreached states therefore carry the finite
+        # sentinel BIG instead of inf (penalties must compose by
+        # addition without producing nan); any cost at or above REACHED
+        # means "not a real path".  Real path energies are bounded far
+        # below REACHED for any physical input, and reached costs are
+        # exact because masking only ever adds 0.0 to live entries.
+        BIG = 1e300
+        REACHED = 1e250
+
+        # int(round(x)) == np.rint(x): both round half to even.
+        start = np.clip(
+            np.rint(buffers / gran).astype(np.int64), 0, num_states - 1
+        )
+        costs = np.full((batch, num_states), BIG)
+        costs[b_idx, start] = 0.0
+        # rank[b, s] = insertion order of state s in the scalar DP's
+        # dict (num_states = never inserted); first_dec[b, s] = flat j
+        # of the h=0 decision on the best path into s.
+        rank = np.full((batch, num_states), num_states, dtype=np.int32)
+        rank[b_idx, start] = 0
+        first_dec = np.full((batch, num_states), -1, dtype=np.int64)
+
+        for h in range(horizon):
+            dlh = dl_flat[:, h]  # (B, J)
+            qoh = qo_flat[:, h]
+            enh = en_flat[:, h]
+            dth = dl_top[:, h]  # (B, V)
+            qth = qo_top[:, h]
+
+            # vm: highest bitrate sustainable at the top frame rate.
+            sustain = dth[:, :, None] <= cap[None, None, :]  # (B, V, S)
+            has_vm = sustain.any(axis=1)  # (B, S)
+            vm = np.where(
+                has_vm, v_count - np.argmax(sustain[:, ::-1, :], axis=1), 0
+            )
+            vm_row = np.maximum(vm - 1, 0)  # row 0 doubles as the vm==0 floor
+            floor = one_minus_eps * np.take_along_axis(qth, vm_row, axis=1)
+
+            qoe_ok = qoh[:, None, :] >= floor[:, :, None]  # (B, S, J)
+            has_vm3 = has_vm[:, :, None]
+            feasible = (
+                ((dlh[:, None, :] <= levels[None, :, None]) & has_vm3)
+                | ((j_idx[None, None, :] < f_count) & ~has_vm3)
+            ) & qoe_ok
+            # vm > 0 with nothing feasible: (vm, top f) fallback.
+            need_fb = has_vm & ~feasible.any(axis=2)
+            if need_fb.any():
+                fb_b, fb_s = np.nonzero(need_fb)
+                feasible[fb_b, fb_s, (vm[fb_b, fb_s] - 1) * f_count
+                         + f_count - 1] = True
+
+            # Target state per (state, version), scalar-snap semantics.
+            next_level = np.maximum(
+                levels[None, :, None] - dlh[:, None, :], 0.0
+            ) + seg_s
+            capped = np.minimum(next_level, threshold)
+            target = np.clip(
+                np.rint(capped / gran).astype(np.int64), 0, num_states - 1
+            )
+
+            # Arithmetic masking: invalid candidates get +BIG on their
+            # cost and +big_key on their scan key, which keeps every
+            # live entry bit-exact (x + 0.0 == x) while pushing dead
+            # ones past any real value.
+            invalid = ~(feasible & (costs < REACHED)[:, :, None])
+            totals = costs[:, :, None] + enh[:, None, :] + invalid * BIG
+            keys = rank[:, :, None] * n_versions + j_idx + invalid * big_key
+
+            flat_tot = totals.reshape(batch, -1)
+            flat_key = keys.reshape(batch, -1)
+            flat_tgt = target.reshape(batch, -1)
+
+            # All target states at once: one-hot the candidates along a
+            # target-major (B, S_target, S*J) axis, mask non-hits with
+            # the same additive penalties, and reduce over the
+            # contiguous candidate axis with plain min/argmin.
+            miss = flat_tgt[:, None, :] != t_range  # (B, S, S*J)
+            masked_tot = flat_tot[:, None, :] + miss * BIG
+            new_costs = masked_tot.min(axis=2)  # (B, S)
+            # Winner = minimal scan key among equal-minimal costs (the
+            # scalar strict-< update keeps the first one).  Equality
+            # with new_costs already implies "hit and minimal": missed
+            # or invalid entries sit at least BIG above any real cost.
+            not_best = masked_tot != new_costs[:, :, None]
+            winner = (
+                flat_key[:, None, :] + not_best * big_key
+            ).argmin(axis=2)  # (B, S)
+            reached = new_costs < REACHED
+            if h == 0:
+                new_first = np.where(reached, src_j[winner], -1)
+            else:
+                new_first = np.where(
+                    reached, first_dec[b_idx[:, None], src_state[winner]], -1
+                )
+            # Insertion order = first candidate reaching t at all.
+            # Unreached targets end up >= big_key in some arbitrary
+            # order, which is fine: their ranks only ever label states
+            # whose candidates are masked as invalid anyway.
+            reach_key = (flat_key[:, None, :] + miss * big_key).min(axis=2)
+
+            order = np.argsort(reach_key, axis=1, kind="stable")
+            rank = np.empty((batch, num_states), dtype=np.int32)
+            np.put_along_axis(rank, order, rank_fill, axis=1)
+            costs, first_dec = new_costs, new_first
+
+        best_cost = costs.min(axis=1)
+        if not np.all(best_cost < REACHED):
+            raise ValueError("no feasible version sequence for some request")
+        # Final min over dict iteration order: earliest-inserted state
+        # among equal-minimal costs.
+        best_state = np.where(
+            costs == best_cost[:, None], rank, num_states + 1
+        ).argmin(axis=1)
+        first = first_dec[b_idx, best_state]
+        quality = first // f_count + 1
+        rate_idx = first % f_count + 1
+        return [
+            MpcDecision(
+                quality=int(quality[b]),
+                frame_rate_index=int(rate_idx[b]),
+                frame_rate=frame_rates[int(rate_idx[b]) - 1],
+                planned_energy_j=float(best_cost[b]),
+            )
+            for b in range(batch)
+        ]
+
     def choose_reference(
         self,
         segments: "list[MpcSegment] | MpcWindow",

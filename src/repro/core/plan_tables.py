@@ -27,6 +27,9 @@ batched and per-call planning are bit-identical.
 
 from __future__ import annotations
 
+import threading
+from typing import Iterable
+
 import numpy as np
 
 from ..ptile.construction import Ptile, partition_remainder
@@ -74,8 +77,24 @@ class PlanTables:
         # (region_key, tiles) -> (S, V, F) size tensor.  Keyed by the
         # Ptile's geometry, not its segment: the same geometry applied
         # to every segment is exactly what the MPC needs when a future
-        # segment has no matching Ptile of its own.
+        # segment has no matching Ptile of its own.  The lock serializes
+        # first-build only; hits read the dict without it (dict.get is
+        # atomic under the GIL) and tensors are never mutated, so tables
+        # shared across concurrent planners cannot observe a torn build.
         self._sizes: dict[tuple, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; the size memo is pure and rebuilds lazily.
+        state = self.__dict__.copy()
+        state["_sizes"] = {}
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._sizes = {}
+        self._lock = threading.Lock()
 
     @property
     def num_segments(self) -> int:
@@ -99,9 +118,22 @@ class PlanTables:
         key = (ptile.region_key, ptile.tiles)
         tensor = self._sizes.get(key)
         if tensor is None:
-            tensor = self._build_sizes(ptile)
-            self._sizes[key] = tensor
+            with self._lock:
+                tensor = self._sizes.get(key)
+                if tensor is None:
+                    tensor = self._build_sizes(ptile)
+                    self._sizes[key] = tensor
         return tensor
+
+    def prime(self, ptiles: Iterable[Ptile]) -> None:
+        """Precompute the size tensors for every given geometry.
+
+        Lets a long-lived owner (the decision service) build all
+        tensors up front and then serve plan requests from effectively
+        frozen tables, instead of paying first-touch builds under load.
+        """
+        for ptile in ptiles:
+            self.sizes_for(ptile)
 
     def _build_sizes(self, ptile: Ptile) -> np.ndarray:
         # The remainder partition depends only on the geometry; the

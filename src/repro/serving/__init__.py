@@ -1,0 +1,39 @@
+"""Online ABR decision service (docs/MODELING.md §13).
+
+The deployment shape of the paper's MPC controller: a long-running
+service that owns per-video plan tables (built once, shared immutably
+across every session of a video) and answers per-segment ``plan``
+requests — in-process through :class:`ServiceRunner`/:class:`ServiceClient`
+or over a newline-delimited JSON TCP protocol.  Co-arriving requests
+are coalesced by a configurable batching window into single vectorized
+MPC passes; decisions are bit-identical to in-process
+``OursScheme.plan`` at any batch size.
+"""
+
+from .client import RemoteClient, ServiceClient
+from .planner import VideoPlanner
+from .requests import PlanRequest, PlanRequestError, request_from_context
+from .server import run_server, serve_tcp
+from .service import (
+    DecisionService,
+    ServiceConfig,
+    ServiceRunner,
+    ServiceStats,
+    build_planners,
+)
+
+__all__ = [
+    "DecisionService",
+    "PlanRequest",
+    "PlanRequestError",
+    "RemoteClient",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceRunner",
+    "ServiceStats",
+    "VideoPlanner",
+    "build_planners",
+    "request_from_context",
+    "run_server",
+    "serve_tcp",
+]

@@ -1,0 +1,275 @@
+"""Per-video planning state for the decision service.
+
+A :class:`VideoPlanner` owns everything needed to answer plan requests
+for one video — the manifest, the per-segment Ptiles, and (through the
+shared :class:`~repro.core.controller.OursScheme` memo) the stacked
+:class:`~repro.core.plan_tables.PlanTables` — built once and then read
+immutably by every request.  Construction primes the size tensors for
+every Ptile geometry in the video, so steady-state serving never takes
+the first-touch build path.
+
+Two serving paths, bit-identical by construction:
+
+* :meth:`plan_one` rebuilds the exact :class:`PlanContext` the session
+  loop would have produced and calls ``scheme.plan`` — the sequential
+  single-request reference.
+* :meth:`plan_batch` coalesces co-arriving requests: per-request work
+  is reduced to the Ptile matches and table-row gathers, then one
+  stacked ``(B, H, V, F)`` tensor feeds a single
+  :meth:`~repro.core.optimizer.EnergyQoEMpc.choose_batch` DP pass for
+  the whole group.  The assembled rows are copies of the same table
+  slices ``PlanTables.window`` copies, the Eq. 4 factors come from the
+  same scalar :func:`frame_rate_factor` calls (``math.exp`` — a numpy
+  vectorization could differ in the last ulp), and the batched DP
+  replicates the scalar DP's tie-breaking exactly, so batch size never
+  changes a decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.controller import OursScheme
+from ..power.models import TilingScheme
+from ..qoe.framerate import alpha_from_behavior, frame_rate_factor
+from ..streaming.schemes import DownloadPlan, PlanContext, split_wrapped_rect
+from ..video.segments import VideoManifest
+from .requests import PlanRequest, PlanRequestError
+
+__all__ = ["VideoPlanner"]
+
+# The per-alpha factor memo is cleared when it reaches this size: alpha
+# varies continuously with the predicted head speed, so a long-lived
+# service would otherwise grow it without bound.
+_FACTOR_MEMO_LIMIT = 65536
+
+
+class VideoPlanner:
+    """Immutable per-video planning state plus the batched plan path."""
+
+    def __init__(
+        self,
+        scheme: OursScheme,
+        manifest: VideoManifest,
+        ptiles=None,
+    ):
+        if not isinstance(scheme, OursScheme):
+            raise ValueError(
+                "VideoPlanner serves the MPC controller; got "
+                f"{getattr(scheme, 'name', scheme)!r}"
+            )
+        self.scheme = scheme
+        self.manifest = manifest
+        self.num_segments = manifest.num_segments
+        self.ptiles = list(ptiles) if ptiles is not None else None
+        if self.ptiles is not None and len(self.ptiles) < self.num_segments:
+            raise ValueError("ptiles must cover every segment")
+        self.video_id = manifest[0].video_id
+        self.fps = manifest.fps
+        self.grid = manifest.encoder.grid
+        self.horizon = scheme.mpc_config.horizon
+        # Build the video-spanning tables through the scheme's memo so
+        # the sequential path and the batched path slice the exact same
+        # tensors, then prime every geometry's size tensor up front.
+        self.tables = scheme._plan_tables(self._context(
+            PlanRequest(
+                video_id=self.video_id,
+                segment_index=0,
+                buffer_s=0.0,
+                bandwidth_mbps=1.0,
+                yaw=0.0,
+                pitch=0.0,
+            )
+        ))
+        if self.ptiles is not None:
+            self.tables.prime(
+                p
+                for segment in self.ptiles[: self.num_segments]
+                for p in segment.ptiles
+            )
+        self._factor_memo: dict[float, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Request -> context
+    # ------------------------------------------------------------------
+
+    def validate(self, request: PlanRequest) -> None:
+        """Full validation against this video; raises PlanRequestError."""
+        request.validate()
+        k = request.segment_index
+        if k >= self.num_segments:
+            raise PlanRequestError(
+                "bad_segment",
+                f"segment_index {k} outside video {self.video_id} "
+                f"({self.num_segments} segments)",
+            )
+        if request.window is not None and k + request.window > self.num_segments:
+            raise PlanRequestError(
+                "bad_window",
+                f"window {request.window} at segment {k} runs past the "
+                f"video end ({self.num_segments} segments)",
+            )
+        if request.fps is not None and request.fps != self.fps:
+            raise PlanRequestError(
+                "bad_fps",
+                f"video {self.video_id} is served at {self.fps} fps, "
+                f"request asked for {request.fps}",
+            )
+
+    def context(self, request: PlanRequest) -> PlanContext:
+        """The validated :class:`PlanContext` this request maps to."""
+        self.validate(request)
+        return self._context(request)
+
+    def _context(self, request: PlanRequest) -> PlanContext:
+        from ..geometry.viewport import Viewport
+
+        k = request.segment_index
+        window = request.window
+        if window is None:
+            window = min(self.horizon, self.num_segments - k)
+        end = k + window
+        use_ptiles = request.use_ptile and self.ptiles is not None
+        return PlanContext(
+            segment_index=k,
+            manifest=self.manifest[k],
+            predicted_viewport=Viewport(
+                request.yaw, request.pitch, request.fov_h, request.fov_v
+            ),
+            buffer_s=request.buffer_s,
+            bandwidth_mbps=request.bandwidth_mbps,
+            grid=self.grid,
+            fps=self.fps,
+            segment_ptiles=self.ptiles[k] if use_ptiles else None,
+            future_manifests=tuple(
+                self.manifest[i] for i in range(k, end)
+            ),
+            future_ptiles=tuple(
+                self.ptiles[i] if use_ptiles else None
+                for i in range(k, end)
+            ),
+            predicted_speed_deg_s=request.speed_deg_s,
+            segment_seconds=request.segment_seconds,
+            video_manifest=self.manifest,
+        )
+
+    # ------------------------------------------------------------------
+    # Serving paths
+    # ------------------------------------------------------------------
+
+    def plan_one(self, request: PlanRequest) -> DownloadPlan:
+        """Sequential single-request path: the in-process planner."""
+        return self.scheme.plan(self.context(request))
+
+    def plan_batch(
+        self, requests: list[PlanRequest]
+    ) -> "list[DownloadPlan | PlanRequestError]":
+        """Serve co-arriving requests with one DP pass per group.
+
+        Returns one entry per request, in order; invalid requests yield
+        their :class:`PlanRequestError` instead of failing the batch.
+        """
+        results: list = [None] * len(requests)
+        # (window length, segment duration) -> [(index, ctx, ptile)]
+        groups: dict[tuple[int, float], list] = {}
+        for i, request in enumerate(requests):
+            try:
+                ctx = self.context(request)
+            except PlanRequestError as err:
+                results[i] = err
+                continue
+            ptile = (
+                ctx.segment_ptiles.match(ctx.predicted_viewport)
+                if ctx.segment_ptiles is not None
+                else None
+            )
+            if ptile is None:
+                results[i] = self.scheme._fallback_plan(ctx)
+                continue
+            key = (len(ctx.future_manifests), ctx.segment_seconds)
+            groups.setdefault(key, []).append((i, ctx, ptile))
+        for (window, seg_s), items in groups.items():
+            self._plan_mpc_group(items, window, seg_s, results)
+        return results
+
+    def _plan_mpc_group(
+        self, items: list, window: int, seg_s: float, results: list
+    ) -> None:
+        """One vectorized choose pass for same-shape MPC requests."""
+        tables = self.tables
+        rates = tables.rates
+        v_count = tables.qo.shape[1]
+        f_count = len(rates)
+        batch = len(items)
+        # Per-slot table coordinates; the actual (V, F) blocks are
+        # gathered in bulk below instead of copied one slot at a time.
+        rows = np.empty((batch, window), dtype=np.intp)
+        geom = np.empty((batch, window), dtype=np.intp)
+        fact = np.empty((batch, window, f_count))
+        tensors: list[np.ndarray] = []  # distinct sizes_for() tensors
+        tensor_slot: dict[int, int] = {}
+        bandwidths = np.empty(batch)
+        buffers = np.empty(batch)
+        memo = self._factor_memo
+        for b, (_, ctx, ptile) in enumerate(items):
+            speed = max(ctx.predicted_speed_deg_s, 0.0)
+            viewport = ctx.predicted_viewport
+            for offset, manifest in enumerate(ctx.future_manifests):
+                chosen = ptile
+                if offset > 0:
+                    # Offset 0 re-matching the current segment always
+                    # reproduces ``ptile``; skip the duplicate match.
+                    matched = ctx.future_ptiles[offset].match(viewport)
+                    if matched is not None:
+                        chosen = matched
+                # sizes_for memoizes per geometry, so tensor identity
+                # is a stable geometry id within this call.
+                tensor = tables.sizes_for(chosen)
+                slot = tensor_slot.get(id(tensor))
+                if slot is None:
+                    slot = len(tensors)
+                    tensor_slot[id(tensor)] = slot
+                    tensors.append(tensor)
+                geom[b, offset] = slot
+                rows[b, offset] = tables.row(manifest.segment_index)
+                alpha = alpha_from_behavior(speed, manifest.ti)
+                factors = memo.get(alpha)
+                if factors is None:
+                    if len(memo) >= _FACTOR_MEMO_LIMIT:
+                        memo.clear()
+                    factors = np.array([
+                        frame_rate_factor(rate, self.fps, alpha)
+                        for rate in rates
+                    ])
+                    memo[alpha] = factors
+                fact[b, offset] = factors
+            bandwidths[b] = ctx.bandwidth_mbps
+            buffers[b] = ctx.buffer_s
+        if len(tensors) == 1:
+            sizes = tensors[0][rows]  # (B, W, V, F)
+        else:
+            sizes = np.empty((batch, window, v_count, f_count))
+            for slot, tensor in enumerate(tensors):
+                mask = geom == slot
+                sizes[mask] = tensor[rows[mask]]
+        # Same float pairs as the scalar path's per-row
+        # ``qo[row, :, None] * factors[None, :]`` — broadcasting does
+        # not reassociate, so the products are bit-identical.
+        qoe = tables.qo[rows][:, :, :, None] * fact[:, :, None, :]
+        mpc = self.scheme._mpc(seg_s)
+        decisions = mpc.choose_batch(sizes, qoe, rates, bandwidths, buffers)
+        for b, (i, ctx, ptile) in enumerate(items):
+            decision = decisions[b]
+            size = float(
+                sizes[b, 0, decision.quality - 1,
+                      decision.frame_rate_index - 1]
+            )
+            results[i] = DownloadPlan(
+                scheme_name=self.scheme.name,
+                quality=decision.quality,
+                frame_rate=decision.frame_rate,
+                total_size_mbit=size,
+                decode_scheme=TilingScheme.PTILE,
+                hq_rects=split_wrapped_rect(ptile.rect),
+                used_ptile=True,
+            )

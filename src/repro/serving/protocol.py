@@ -1,0 +1,126 @@
+"""Newline-delimited JSON wire protocol for the decision service.
+
+One request per line, one response per line, correlated by ``id``::
+
+    -> {"id": 1, "request": {"video_id": 8, "segment_index": 3, ...}}
+    <- {"id": 1, "plan": {"quality": 4, "frame_rate": 25.0, ...}}
+    <- {"id": 2, "error": {"code": "bad_buffer", "message": "..."}}
+
+Floats survive the round trip exactly: ``json`` serializes them via
+``repr`` (shortest representation that parses back to the same
+double), so a plan decoded from the wire compares equal — float for
+float — to the :class:`DownloadPlan` the in-process planner returns.
+The identity tests rely on this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..geometry.viewport import Rect
+from ..power.models import TilingScheme
+from ..streaming.schemes import DownloadPlan
+from .requests import PlanRequest, PlanRequestError
+
+__all__ = [
+    "encode_request_line",
+    "decode_request_line",
+    "encode_response_line",
+    "decode_response_line",
+]
+
+_REQUEST_FIELDS = {f.name for f in dataclasses.fields(PlanRequest)}
+_REQUIRED_FIELDS = {
+    f.name
+    for f in dataclasses.fields(PlanRequest)
+    if f.default is dataclasses.MISSING
+}
+
+
+def encode_request_line(request_id: int, request: PlanRequest) -> bytes:
+    payload = {"id": request_id, "request": dataclasses.asdict(request)}
+    return json.dumps(payload).encode() + b"\n"
+
+
+def decode_request_line(line: bytes) -> tuple[object, PlanRequest]:
+    """Parse one request line; raises :class:`PlanRequestError`.
+
+    Returns ``(id, request)``; the id is echoed in the response even
+    when the request itself is malformed (when the line isn't valid
+    JSON at all, the error response carries ``id: null``).
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        raise PlanRequestError("bad_request", "line is not valid JSON")
+    if not isinstance(payload, dict):
+        raise PlanRequestError("bad_request", "payload must be an object")
+    request_id = payload.get("id")
+    fields = payload.get("request")
+    if not isinstance(fields, dict):
+        error = PlanRequestError(
+            "bad_request", "missing 'request' object"
+        )
+        error.request_id = request_id
+        raise error
+    unknown = set(fields) - _REQUEST_FIELDS
+    missing = _REQUIRED_FIELDS - set(fields)
+    if unknown or missing:
+        parts = []
+        if missing:
+            parts.append(f"missing fields {sorted(missing)}")
+        if unknown:
+            parts.append(f"unknown fields {sorted(unknown)}")
+        error = PlanRequestError("bad_request", "; ".join(parts))
+        error.request_id = request_id
+        raise error
+    return request_id, PlanRequest(**fields)
+
+
+def encode_response_line(request_id: object, outcome) -> bytes:
+    """Encode a plan or a :class:`PlanRequestError` as one line."""
+    if isinstance(outcome, PlanRequestError):
+        payload = {
+            "id": request_id,
+            "error": {"code": outcome.code, "message": outcome.message},
+        }
+    else:
+        payload = {
+            "id": request_id,
+            "plan": {
+                "scheme_name": outcome.scheme_name,
+                "quality": outcome.quality,
+                "frame_rate": outcome.frame_rate,
+                "total_size_mbit": outcome.total_size_mbit,
+                "decode_scheme": outcome.decode_scheme.value,
+                "hq_rects": [
+                    [r.x0, r.y0, r.x1, r.y1] for r in outcome.hq_rects
+                ],
+                "full_coverage": outcome.full_coverage,
+                "used_ptile": outcome.used_ptile,
+            },
+        }
+    return json.dumps(payload).encode() + b"\n"
+
+
+def decode_response_line(line: bytes) -> tuple[object, DownloadPlan]:
+    """Parse one response line; raises the carried error, if any."""
+    payload = json.loads(line)
+    request_id = payload.get("id")
+    error = payload.get("error")
+    if error is not None:
+        raised = PlanRequestError(error["code"], error["message"])
+        raised.request_id = request_id
+        raise raised
+    plan = payload["plan"]
+    return request_id, DownloadPlan(
+        scheme_name=plan["scheme_name"],
+        quality=plan["quality"],
+        frame_rate=plan["frame_rate"],
+        total_size_mbit=plan["total_size_mbit"],
+        decode_scheme=TilingScheme(plan["decode_scheme"]),
+        hq_rects=tuple(Rect(*r) for r in plan["hq_rects"]),
+        full_coverage=plan["full_coverage"],
+        used_ptile=plan["used_ptile"],
+    )

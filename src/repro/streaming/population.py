@@ -195,6 +195,8 @@ class _TracePlans:
     factor_fps: np.ndarray  # (S,) Eq. 4 factor at the full frame rate
     factors: np.ndarray  # (S, F) Eq. 4 factors per ladder rate (Ours)
     windows: list  # (S,) MpcWindow | None
+    viewports: list  # (S,) predicted Viewport (the MPC/planning input)
+    speeds: np.ndarray  # (S,) predicted head speed at the request
 
 
 class PopulationEngine:
@@ -217,6 +219,7 @@ class PopulationEngine:
         ptiles: list[SegmentPtiles] | None = None,
         qoe: QoEModel | None = None,
         config: SessionConfig = SessionConfig(),
+        decision_client=None,
     ):
         if config.fault_plan is not None or config.download_policy is not None:
             raise ValueError(
@@ -277,6 +280,13 @@ class PopulationEngine:
                 f"unsupported scheme {getattr(scheme, 'name', scheme)!r}: "
                 "the population engine handles ctile, ptile, and ours"
             )
+
+        if decision_client is not None and kind != "ours":
+            raise ValueError(
+                "decision_client only applies to the Ours scheme: other "
+                "schemes never consult the MPC decision service"
+            )
+        self.decision_client = decision_client
 
         self.scheme = scheme
         self.kind = kind
@@ -369,6 +379,8 @@ class PopulationEngine:
         factor_fps = np.empty(length)
         factors = np.zeros((length, n_rates))
         windows: list = [None] * length
+        viewports: list = [None] * length
+        speeds = np.zeros(length)
 
         from .schemes import PlanContext  # local: avoids a cycle warning
 
@@ -384,6 +396,8 @@ class PopulationEngine:
             else:
                 predicted_vp = trace.viewport_at(0.0, config.fov_deg)
                 predicted_speed = 0.0
+            viewports[k] = predicted_vp
+            speeds[k] = predicted_speed
 
             horizon_end = min(k + config.horizon, length)
             seg_ptiles = self.ptiles[k] if self.ptiles is not None else None
@@ -472,6 +486,8 @@ class PopulationEngine:
             factor_fps=factor_fps,
             factors=factors,
             windows=windows,
+            viewports=viewports,
+            speeds=speeds,
         )
         self._plans[trace_index] = plans
         return plans
@@ -708,20 +724,57 @@ class PopulationEngine:
 
             render = np.full(n, self._render_fps_j)
             mpc_rows = np.flatnonzero(MPC[inv, k])
-            for i in mpc_rows:
-                win = plans[inv[i]].windows[k]
-                decision = self._mpc.choose(
-                    win, float(est[i]), float(level_req[i])
-                )
-                q_idx[i] = decision.quality - 1
-                f_idx = decision.frame_rate_index - 1
-                size[i] = float(
-                    win.sizes_mbit[0, decision.quality - 1, f_idx]
-                )
-                frame_rate[i] = decision.frame_rate
-                decode[i] = self._decode_rate_j[f_idx]
-                render[i] = self._render_rate_j[f_idx]
-                factor[i] = FACTS[inv[i], k, f_idx]
+            if self.decision_client is not None and mpc_rows.size:
+                # Service seam: one plan_many over every co-arriving MPC
+                # request — the service batches them into vectorized
+                # choose passes, decisions bit-identical to _mpc.choose.
+                from ..serving.requests import PlanRequest
+
+                horizon_end = min(k + config.horizon, self.length)
+                video_id = self.manifest.video.meta.video_id
+                requests = []
+                for i in mpc_rows:
+                    p = plans[inv[i]]
+                    vp = p.viewports[k]
+                    requests.append(PlanRequest(
+                        video_id=video_id,
+                        segment_index=k,
+                        buffer_s=float(level_req[i]),
+                        bandwidth_mbps=float(est[i]),
+                        yaw=vp.yaw,
+                        pitch=vp.pitch,
+                        fov_h=vp.fov_h,
+                        fov_v=vp.fov_v,
+                        speed_deg_s=float(p.speeds[k]),
+                        window=horizon_end - k,
+                        segment_seconds=seg_s,
+                        fps=self._fps,
+                    ))
+                for i, plan in zip(
+                    mpc_rows, self.decision_client.plan_many(requests)
+                ):
+                    q_idx[i] = int(plan.quality) - 1
+                    f_idx = self._rates.index(plan.frame_rate)
+                    size[i] = float(plan.total_size_mbit)
+                    frame_rate[i] = plan.frame_rate
+                    decode[i] = self._decode_rate_j[f_idx]
+                    render[i] = self._render_rate_j[f_idx]
+                    factor[i] = FACTS[inv[i], k, f_idx]
+            else:
+                for i in mpc_rows:
+                    win = plans[inv[i]].windows[k]
+                    decision = self._mpc.choose(
+                        win, float(est[i]), float(level_req[i])
+                    )
+                    q_idx[i] = decision.quality - 1
+                    f_idx = decision.frame_rate_index - 1
+                    size[i] = float(
+                        win.sizes_mbit[0, decision.quality - 1, f_idx]
+                    )
+                    frame_rate[i] = decision.frame_rate
+                    decode[i] = self._decode_rate_j[f_idx]
+                    render[i] = self._render_rate_j[f_idx]
+                    factor[i] = FACTS[inv[i], k, f_idx]
 
             # --- download against the shared trace (edge split first)
             if edge is not None:

@@ -153,3 +153,64 @@ class TestChoice:
         for _ in range(50):
             mpc.choose([make_segment()] * 5, 4.0, 3.0)
         assert time.perf_counter() - start < 2.0
+
+
+class TestChooseBatch:
+    """The dense batched DP must be bit-identical to per-row choose."""
+
+    @staticmethod
+    def _windows(rng, batch, horizon):
+        """Stacked windows with exact ties injected: duplicated lookahead
+        segments, coarsely rounded values, and buffer levels sitting on
+        state boundaries all force the tie-breaking paths."""
+        sizes = np.empty((batch, horizon, 5, 4))
+        qoe = np.empty((batch, horizon, 5, 4))
+        for b in range(batch):
+            for h in range(horizon):
+                seg = make_segment(
+                    base_size=float(rng.choice([0.5, 1.0, 1.0, 2.0])),
+                    alpha=float(rng.choice([2.0, 5.0, 5.0, 9.0])),
+                    qoe_top=float(rng.choice([60.0, 90.0, 90.0])),
+                )
+                sizes[b, h] = np.round(seg.sizes_mbit, 1)
+                qoe[b, h] = np.round(seg.qoe, 0)
+            if horizon > 1 and rng.random() < 0.5:
+                sizes[b, 1:] = sizes[b, 0]  # identical lookahead rows
+                qoe[b, 1:] = qoe[b, 0]
+        bandwidths = rng.choice([2.0, 4.0, 8.0, 20.0], size=batch)
+        buffers = rng.choice([0.0, 0.5, 1.25, 2.0, 3.0], size=batch)
+        return sizes, qoe, bandwidths.astype(float), buffers.astype(float)
+
+    def test_matches_scalar_choose(self, mpc):
+        from repro.core.optimizer import MpcWindow
+
+        rng = np.random.default_rng(20260808)
+        for _ in range(12):
+            batch = int(rng.integers(1, 9))
+            horizon = int(rng.integers(1, 6))
+            sizes, qoe, bw, buf = self._windows(rng, batch, horizon)
+            decisions = mpc.choose_batch(sizes, qoe, RATES, bw, buf)
+            assert len(decisions) == batch
+            for b, got in enumerate(decisions):
+                window = MpcWindow(
+                    sizes_mbit=sizes[b], qoe=qoe[b], frame_rates=RATES
+                )
+                want = mpc.choose(window, float(bw[b]), float(buf[b]))
+                assert (got.quality, got.frame_rate_index) == (
+                    want.quality, want.frame_rate_index
+                ), f"row {b}: batch={got} scalar={want}"
+                assert got.frame_rate == want.frame_rate
+                assert got.planned_energy_j == want.planned_energy_j
+
+    def test_validation(self, mpc):
+        sizes = np.ones((2, 3, 5, 4))
+        qoe = np.ones((2, 3, 5, 4))
+        with pytest.raises(ValueError):
+            mpc.choose_batch(sizes[0], qoe[0], RATES,
+                             np.array([4.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            mpc.choose_batch(sizes, qoe, RATES,
+                             np.array([4.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            mpc.choose_batch(sizes, qoe, RATES,
+                             np.array([4.0]), np.array([1.0, 1.0]))
