@@ -92,6 +92,12 @@ def extract_metrics(report: dict) -> dict[str, float]:
         "resilience_overhead_ratio": _extra(
             report, "test_resilience_layer_overhead", "overhead_ratio"
         ),
+        "robust_overhead_ratio": _extra(
+            report, "test_robust_layer_overhead", "overhead_ratio"
+        ),
+        "robust_active_overhead_ratio": _extra(
+            report, "test_robust_layer_overhead", "active_overhead_ratio"
+        ),
         "population_engine_speedup": _extra(
             report, "test_population_engine_speedup", "population_speedup"
         ),

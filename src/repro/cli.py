@@ -58,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3",
             "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "ablation", "shared-cache", "resilience",
-            "population", "serve", "report", "all",
+            "robust", "population", "serve", "report", "all",
         ],
         help="which table/figure to regenerate (or 'serve' to run the "
              "online decision service)",
@@ -190,6 +190,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--videos", metavar="ID[,ID...]", default="8",
         help="video ids the decision service builds plan tables for "
              "(serve command)",
+    )
+    parser.add_argument(
+        "--uncertainty", type=float, default=8.0,
+        help="base angular error scale sigma in degrees of the robust "
+             "planner's Gaussian error model (robust experiment; 0 "
+             "degenerates to the point-prediction 'ours' bit-for-bit)",
+    )
+    parser.add_argument(
+        "--uncertainty-growth", type=float, default=6.0,
+        help="degrees of additional error scale per second of "
+             "prediction horizon (robust experiment)",
+    )
+    parser.add_argument(
+        "--robust-scheme", choices=("robust", "pano"), default="robust",
+        help="robust planner variant: 'robust' maximizes expected "
+             "viewport coverage; 'pano' adds the Pano-style perceptual "
+             "polar discount to the hypothesis weights (robust "
+             "experiment)",
     )
     parser.add_argument(
         "--retry-budget", type=int, default=2,
@@ -339,6 +357,32 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         print(f"-- resilience (seed {args.fault_seed}, "
               f"retry budget {args.retry_budget}, "
               f"timeout slack {args.timeout_slack:g}s) --")
+        for point in points:
+            print(point.report())
+    elif name == "robust":
+        from .experiments import sweep_robust
+
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           video_ids=(8,),
+                           artifacts=_artifact_store(args))
+        points = sweep_robust(
+            setup,
+            profiles=args.fault_profiles_parsed,
+            device=get_device(args.device),
+            users=args.users,
+            uncertainty_deg=args.uncertainty,
+            uncertainty_growth_deg_s=args.uncertainty_growth,
+            perceptual=args.robust_scheme == "pano",
+            fault_seed=args.fault_seed,
+            retry_budget=args.retry_budget,
+            timeout_slack_s=args.timeout_slack,
+            workers=args.workers,
+            results=_results_store(args),
+        )
+        print(f"-- robust planning ({args.robust_scheme}, "
+              f"sigma {args.uncertainty:g}deg "
+              f"+{args.uncertainty_growth:g}deg/s, "
+              f"fault seed {args.fault_seed}) --")
         for point in points:
             print(point.report())
     elif name == "population":
@@ -513,6 +557,10 @@ def _main(argv: list[str] | None) -> int:
         )
     if args.retry_budget < 0:
         parser.error("--retry-budget must be >= 0 (0 = no retries)")
+    if args.uncertainty < 0:
+        parser.error("--uncertainty must be >= 0 degrees")
+    if args.uncertainty_growth < 0:
+        parser.error("--uncertainty-growth must be >= 0 degrees/second")
     if args.timeout_slack < 0:
         parser.error("--timeout-slack must be >= 0 seconds")
     if args.arrival_rate <= 0:

@@ -1,0 +1,210 @@
+"""Uncertainty-aware robust planning on top of the MPC controller.
+
+:class:`RobustScheme` is :class:`~repro.core.controller.OursScheme`
+with the trust in the point FoV prediction removed.  Where Ours bets
+the segment on the single predicted center (deterministic Ptile match,
+QoE table rows that assume the viewport is fully covered), Robust:
+
+1. spreads the predicted center into a distribution over FoV
+   hypotheses using the session's
+   :class:`~repro.prediction.viewport.AngularErrorModel` at the actual
+   prediction horizon (:mod:`repro.prediction.uncertainty`);
+2. selects the candidate Ptile maximizing **expected viewport
+   coverage** under that distribution (optionally weighted by the
+   Pano-style perceptual prior), instead of the deterministic
+   center-containment match — the robust tile selection of Ghosh et
+   al.;
+3. feeds the MPC an **expected-quality** window
+   (:func:`expected_quality_window`): each lookahead segment's QoE row
+   is mixed toward the lowest-quality row by its expected coverage,
+   mirroring how the session scores a delivered segment as
+   ``coverage * qo_high + (1 - coverage) * qo_low``.  The unchanged
+   energy-minimizing DP then optimizes expected viewport quality.
+
+Parity guarantee: when the error model is degenerate (sigma = 0 at the
+query horizon) ``plan()`` delegates to the superclass — the *same
+code path, tables, and floats* as Ours — so zero uncertainty is
+bit-identical to the point-prediction scheme, not merely close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..power.models import TilingScheme
+from ..prediction.uncertainty import (
+    HypothesisGrid,
+    PanoWeight,
+    deterministic_coverage,
+    expected_coverage,
+    hypothesis_grid,
+    hypothesis_weights,
+)
+from ..prediction.viewport import AngularErrorModel
+from ..streaming.schemes import DownloadPlan, PlanContext, split_wrapped_rect
+from .controller import OursScheme
+from .optimizer import MpcWindow
+
+__all__ = ["RobustScheme", "expected_quality_window"]
+
+
+def expected_quality_window(
+    window: MpcWindow, coverage: np.ndarray
+) -> MpcWindow:
+    """The expected-viewport-quality variant of an MPC window.
+
+    ``coverage[h]`` is the expected viewport coverage of the region
+    chosen for lookahead segment ``h``.  Each QoE entry is mixed toward
+    that segment's lowest-quality entry at the same frame rate —
+    exactly the quality the uncovered viewport fraction plays back at —
+    so the DP's QoE axis becomes the expectation of the session's
+    delivered-quality accounting.  Sizes are untouched: uncertainty
+    changes what a download is *worth*, not what it costs.
+    """
+    cov = np.clip(np.asarray(coverage, dtype=float), 0.0, 1.0)
+    if cov.ndim == 0:
+        cov = np.full(window.num_segments, float(cov))
+    if cov.shape != (window.num_segments,):
+        raise ValueError("need one expected coverage per lookahead segment")
+    qoe = window.qoe
+    low = qoe[:, :1, :]
+    mixed = cov[:, None, None] * qoe + (1.0 - cov[:, None, None]) * low
+    return MpcWindow(
+        sizes_mbit=window.sizes_mbit,
+        qoe=mixed,
+        frame_rates=window.frame_rates,
+    )
+
+
+@dataclass(frozen=True)
+class RobustScheme(OursScheme):
+    """Ours with probabilistic viewport coverage and robust selection.
+
+    ``error_model`` maps the prediction horizon carried by the
+    :class:`PlanContext` to an angular error scale; ``perceptual``
+    optionally weights FoV hypotheses by the Pano polar discount during
+    tile selection; ``min_expected_coverage`` is the robust analog of
+    the deterministic match threshold — when no Ptile reaches it the
+    scheme falls back to conventional tiles, same as Ours does on a
+    failed match.
+    """
+
+    error_model: AngularErrorModel = field(default_factory=AngularErrorModel)
+    perceptual: PanoWeight | None = None
+    min_expected_coverage: float = 0.5
+    name: str = "robust"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 <= self.min_expected_coverage <= 1.0):
+            raise ValueError("min_expected_coverage must be in [0, 1]")
+
+    def plan(self, ctx: PlanContext) -> DownloadPlan:
+        sigma = self.error_model.sigma_deg(ctx.prediction_horizon_s)
+        if sigma <= 0.0:
+            # Degenerate uncertainty: take the superclass path verbatim
+            # so sigma -> 0 degrades bit-for-bit to the ours objective.
+            return super().plan(ctx)
+        if ctx.segment_ptiles is None:
+            return self._fallback_plan(ctx)
+        selection = self.select_robust(ctx, sigma)
+        if selection is None:
+            return self._fallback_plan(ctx)
+        ptile, horizon_cov = selection
+        window = self._plan_tables(ctx).window(ctx, ptile)
+        robust_window = expected_quality_window(window, horizon_cov)
+        mpc = self._mpc(ctx.segment_seconds)
+        decision = mpc.choose(robust_window, ctx.bandwidth_mbps, ctx.buffer_s)
+        size = float(
+            robust_window.sizes_mbit[
+                0, decision.quality - 1, decision.frame_rate_index - 1
+            ]
+        )
+        return DownloadPlan(
+            scheme_name=self.name,
+            quality=decision.quality,
+            frame_rate=decision.frame_rate,
+            total_size_mbit=size,
+            decode_scheme=TilingScheme.PTILE,
+            hq_rects=split_wrapped_rect(ptile.rect),
+            used_ptile=True,
+            expected_coverage=float(horizon_cov[0]),
+            sigma_deg=sigma,
+        )
+
+    # ------------------------------------------------------------------
+
+    def select_robust(self, ctx: PlanContext, sigma: float):
+        """Robust tile selection: argmax expected (perceptual) coverage.
+
+        Returns ``(ptile, horizon_coverage)`` where ``horizon_coverage``
+        holds the expected coverage of the chosen region for every
+        lookahead segment, or ``None`` when the best candidate falls
+        below ``min_expected_coverage`` (conventional-tile fallback).
+        Ties keep the lowest-index Ptile, so selection is deterministic.
+        """
+        if ctx.segment_ptiles is None or not ctx.segment_ptiles.ptiles:
+            return None
+        viewport = ctx.predicted_viewport
+        hyp = hypothesis_grid(ctx.grid, viewport.fov_h, viewport.fov_v)
+        weights = hypothesis_weights(hyp, viewport.yaw, viewport.pitch, sigma)
+        score_weights = weights
+        if self.perceptual is not None:
+            perceptual = weights * self.perceptual.weight(hyp.centers_pitch)
+            total = float(perceptual.sum())
+            if total > 0.0:
+                score_weights = perceptual / total
+        best = None
+        best_score = -1.0
+        for ptile in ctx.segment_ptiles.ptiles:
+            score = expected_coverage(
+                score_weights, hyp, split_wrapped_rect(ptile.rect)
+            )
+            if score > best_score:
+                best, best_score = ptile, score
+        if best is None or best_score < self.min_expected_coverage:
+            return None
+        return best, self._horizon_coverage(ctx, hyp, best, weights)
+
+    def _horizon_coverage(
+        self,
+        ctx: PlanContext,
+        hyp: HypothesisGrid,
+        ptile,
+        base_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Expected coverage per lookahead segment of the MPC window.
+
+        Mirrors :meth:`PlanTables.window`'s future-Ptile rematch (later
+        segments may be served by a different Ptile of the same
+        geometry sweep) and widens the error model with each extra
+        segment of lookahead.
+        """
+        manifests = ctx.future_manifests or (ctx.manifest,)
+        viewport = ctx.predicted_viewport
+        cov = np.empty(len(manifests))
+        for offset in range(len(manifests)):
+            chosen = ptile
+            if 0 < offset < len(ctx.future_ptiles):
+                future = ctx.future_ptiles[offset]
+                if future is not None:
+                    matched = future.match(viewport)
+                    if matched is not None:
+                        chosen = matched
+            rects = split_wrapped_rect(chosen.rect)
+            if offset == 0:
+                cov[offset] = expected_coverage(base_weights, hyp, rects)
+                continue
+            sigma = self.error_model.sigma_deg(
+                ctx.prediction_horizon_s + offset * ctx.segment_seconds
+            )
+            if sigma <= 0.0:
+                cov[offset] = deterministic_coverage(viewport, rects)
+            else:
+                weights = hypothesis_weights(
+                    hyp, viewport.yaw, viewport.pitch, sigma
+                )
+                cov[offset] = expected_coverage(weights, hyp, rects)
+        return cov

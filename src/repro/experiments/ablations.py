@@ -24,12 +24,15 @@ import numpy as np
 
 from ..core.controller import OursScheme
 from ..core.optimizer import MpcConfig
+from ..core.robust import RobustScheme
 from ..power.models import DevicePowerModel, PIXEL_3
 from ..prediction.bandwidth import (
     EwmaEstimator,
     HarmonicMeanEstimator,
     LastSampleEstimator,
 )
+from ..prediction.uncertainty import PanoWeight
+from ..prediction.viewport import AngularErrorModel
 from ..ptile.construction import PtileConfig, build_video_ptiles
 from ..ptile.coverage import coverage_stats
 from ..resilience.faults import generate_fault_plan
@@ -58,6 +61,7 @@ __all__ = [
     "sweep_shared_cache",
     "sweep_viewport_predictor",
     "sweep_resilience",
+    "sweep_robust",
 ]
 
 
@@ -634,6 +638,151 @@ def sweep_resilience(
                             np.mean(
                                 [s.degraded_segment_count for s in batch]
                             )
+                        ),
+                        "skipped": float(
+                            np.mean(
+                                [s.skipped_segment_count for s in batch]
+                            )
+                        ),
+                    },
+                )
+            )
+    return points
+
+
+def sweep_robust(
+    setup: ExperimentSetup,
+    profiles: tuple[str, ...] = ("none", "outages", "lossy"),
+    device: DevicePowerModel = PIXEL_3,
+    video_id: int = 8,
+    users: int = 2,
+    uncertainty_deg: float = 8.0,
+    uncertainty_growth_deg_s: float = 6.0,
+    perceptual: bool = False,
+    min_expected_coverage: float = 0.3,
+    fault_seed: int = 7,
+    retry_budget: int = 2,
+    timeout_slack_s: float = 0.75,
+    workers: int | None = 1,
+    results: ArtifactStore | None = None,
+) -> list[AblationPoint]:
+    """Robust (uncertainty-aware) vs point-prediction MPC under faults.
+
+    Crosses the :class:`~repro.core.robust.RobustScheme` with the
+    point-prediction ``ours`` baseline over the resilience fault
+    profiles — the scenarios where trusting the FoV prediction actually
+    hurts.  The robust scheme runs a parametric Gaussian error model
+    (``uncertainty_deg + uncertainty_growth_deg_s * horizon``, the
+    fallback parameterization of
+    :class:`~repro.prediction.viewport.AngularErrorModel`); set
+    ``perceptual`` to weight hypotheses with the Pano polar discount.
+
+    One :class:`AblationPoint` per ``(profile, scheme)`` pair labelled
+    ``"profile:scheme"``; ``extra`` carries the viewport-quality term
+    ``qo`` (the headline the robust objective optimizes), delivered
+    coverage, the planner's mean expected coverage and error scale
+    (schema v4 per-segment uncertainty accounting), Ptile hit rate,
+    stall, and skip counters.  Deterministic and cache-stable exactly
+    like :func:`sweep_resilience`: byte-identical aggregates at any
+    ``workers`` count, cold or warm ``results`` store.
+    """
+    if not profiles:
+        raise ValueError("need at least one fault profile")
+    if uncertainty_deg < 0.0 or uncertainty_growth_deg_s < 0.0:
+        raise ValueError("uncertainty parameters must be non-negative")
+    schemes = {
+        "ours": OursScheme(device=device),
+        "robust": RobustScheme(
+            device=device,
+            error_model=AngularErrorModel(
+                base_sigma_deg=uncertainty_deg,
+                growth_deg_per_s=uncertainty_growth_deg_s,
+            ),
+            perceptual=PanoWeight() if perceptual else None,
+            min_expected_coverage=min_expected_coverage,
+        ),
+    }
+    scheme_names = tuple(schemes)
+    manifest = setup.manifest(video_id)
+    n_segments = manifest.num_segments
+    if setup.session_config.max_segments is not None:
+        n_segments = min(n_segments, setup.session_config.max_segments)
+    plan_duration_s = n_segments * setup.session_config.segment_seconds
+    policy = DownloadPolicy(
+        retry_budget=retry_budget, timeout_slack_s=timeout_slack_s
+    )
+    heads = tuple(setup.dataset.test_traces(video_id)[:users])
+
+    points = []
+    for profile in profiles:
+        if profile == "none":
+            # Benign path: both resilience knobs off, byte-identical to
+            # a fault-free sweep (and sharing its results-cache slots).
+            config = setup.session_config
+        else:
+            plan = generate_fault_plan(
+                profile, plan_duration_s, seed=fault_seed
+            )
+            config = replace(
+                setup.session_config,
+                fault_plan=plan,
+                download_policy=policy,
+            )
+        context = SweepContext(
+            schemes=schemes,
+            device=device,
+            networks={"trace2": setup.trace2},
+            manifests={video_id: manifest},
+            head_traces={video_id: heads},
+            ptiles={video_id: setup.ptiles(video_id)},
+            config=config,
+        )
+        jobs = [
+            SessionJob(
+                key=(name, profile, user),
+                scheme=name,
+                video_id=video_id,
+                network="trace2",
+                user_index=user,
+            )
+            for name in scheme_names
+            for user in range(len(heads))
+        ]
+        sessions = run_session_jobs(
+            context, jobs, workers=workers, results=results
+        ).results
+        per_scheme = {
+            name: sessions[i * len(heads) : (i + 1) * len(heads)]
+            for i, name in enumerate(scheme_names)
+        }
+        for name in scheme_names:
+            batch = per_scheme[name]
+            points.append(
+                AblationPoint(
+                    f"{profile}:{name}",
+                    float(np.mean([s.energy_per_segment_j for s in batch])),
+                    float(np.mean([s.mean_qoe for s in batch])),
+                    float(np.mean([s.rebuffer_count for s in batch])),
+                    extra={
+                        "qo": float(
+                            np.mean([s.session_qoe.mean_qo for s in batch])
+                        ),
+                        "coverage": float(
+                            np.mean([s.mean_coverage for s in batch])
+                        ),
+                        "expcov": float(
+                            np.mean(
+                                [s.mean_expected_coverage for s in batch]
+                            )
+                        ),
+                        "sigma": float(
+                            np.mean([s.mean_uncertainty_deg for s in batch])
+                        ),
+                        "hit": float(
+                            np.mean([s.ptile_hit_rate for s in batch])
+                        ),
+                        "stall": float(
+                            np.mean([s.total_stall_s for s in batch])
                         ),
                         "skipped": float(
                             np.mean(

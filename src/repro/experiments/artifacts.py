@@ -100,7 +100,7 @@ __all__ = [
 ARTIFACT_SCHEMA_VERSION = 1
 """Bumped whenever the on-disk layout or the key composition changes."""
 
-RESULTS_SCHEMA_VERSION = 3
+RESULTS_SCHEMA_VERSION = 4
 """Bumped whenever the session-result schema or the fingerprint
 composition changes; baked into every results key.
 
@@ -114,7 +114,14 @@ v3: the resilience subsystem — SegmentRecord gained ``retries``,
 ``fault_plan`` / ``download_policy`` (both fingerprint structurally as
 frozen dataclasses of primitives, so two sweeps sharing a
 ``(profile, seed)`` share cached sessions and any other pair cannot
-collide)."""
+collide).
+
+v4: uncertainty-aware robust planning — SegmentRecord gained
+``expected_coverage`` / ``uncertainty_deg``; PlanContext gained
+``prediction_horizon_s``; the robust scheme's ``AngularErrorModel`` /
+``PanoWeight`` / ``min_expected_coverage`` fingerprint structurally
+through the generic dataclass walk, so robust and point-prediction
+sweeps can never share a cached session."""
 
 ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles", "results")
 

@@ -1,4 +1,5 @@
-"""Prediction substrate: viewport (ridge regression) and bandwidth."""
+"""Prediction substrate: viewport (ridge regression), bandwidth, and
+the FoV-uncertainty probability layer."""
 
 from .bandwidth import EwmaEstimator, HarmonicMeanEstimator, LastSampleEstimator
 from .strategies import (
@@ -9,7 +10,23 @@ from .strategies import (
     ridge_predictor_factory,
     static_predictor_factory,
 )
-from .viewport import RidgeRegressor, ViewportPredictor
+from .uncertainty import (
+    HypothesisGrid,
+    PanoWeight,
+    angular_distance_deg,
+    coverage_profile,
+    deterministic_coverage,
+    expected_coverage,
+    hypothesis_grid,
+    hypothesis_weights,
+    tile_view_probabilities,
+)
+from .viewport import (
+    AngularErrorModel,
+    RidgeRegressor,
+    ViewportPredictor,
+    fit_error_model,
+)
 
 __all__ = [
     "EwmaEstimator",
@@ -21,6 +38,17 @@ __all__ = [
     "oracle_predictor_factory",
     "ridge_predictor_factory",
     "static_predictor_factory",
+    "AngularErrorModel",
     "RidgeRegressor",
     "ViewportPredictor",
+    "fit_error_model",
+    "HypothesisGrid",
+    "PanoWeight",
+    "angular_distance_deg",
+    "coverage_profile",
+    "deterministic_coverage",
+    "expected_coverage",
+    "hypothesis_grid",
+    "hypothesis_weights",
+    "tile_view_probabilities",
 ]

@@ -8,18 +8,32 @@ because it resists overfitting the short, noisy history window.
 :class:`RidgeRegressor` is a small closed-form ridge implementation;
 :class:`ViewportPredictor` feeds it time-indexed yaw/pitch histories and
 extrapolates to the playback time of the next segment.
+
+:class:`AngularErrorModel` quantifies how wrong those extrapolations
+are: a per-horizon angular-error scale (sigma, in degrees) either fit
+from head traces by replaying the predictor (:func:`fit_error_model`)
+or given parametrically (``base + growth * horizon``).  Robust planning
+(:mod:`repro.core.robust`) feeds it into the probability layer in
+:mod:`repro.prediction.uncertainty`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
 from ..geometry.viewport import DEFAULT_FOV_DEG, Viewport
+from .uncertainty import angular_distance_deg
 
-__all__ = ["RidgeRegressor", "ViewportPredictor"]
+__all__ = [
+    "AngularErrorModel",
+    "RidgeRegressor",
+    "ViewportPredictor",
+    "fit_error_model",
+]
 
 
 class RidgeRegressor:
@@ -147,6 +161,21 @@ class ViewportPredictor:
         yaw, pitch = self.predict_center(t_target)
         return Viewport(yaw, pitch, self.fov_deg, self.fov_deg)
 
+    def prediction_end_s(self, t_target: float) -> float:
+        """The time :meth:`predict_center` actually extrapolates to.
+
+        Trend extrapolation is clamped to ``max_extrapolation_s`` past
+        the last observation, so for targets beyond that the prediction
+        is for an *earlier* time than requested; the error model charges
+        the full requested horizon for that staleness.
+        """
+        if not self._history:
+            raise RuntimeError("no observations yet")
+        t_last = self._history[-1][0]
+        if len(self._history) < 4 or t_target <= t_last:
+            return t_last
+        return t_last + min(t_target - t_last, self.max_extrapolation_s)
+
     def recent_speed_deg_s(self, quantile: float = 0.75) -> float:
         """Switching-speed statistic over the history window (Eq. 4).
 
@@ -162,3 +191,133 @@ class ViewportPredictor:
         steps = np.hypot(np.diff(yaws), np.diff(pitches))
         dt = np.diff(times)
         return float(np.quantile(steps / dt, quantile))
+
+
+@dataclass(frozen=True)
+class AngularErrorModel:
+    """Angular prediction-error scale as a function of horizon.
+
+    ``sigma_deg(h)`` is the Gaussian scale (degrees of great-circle
+    error) the probability layer uses at prediction horizon ``h``.
+    Two parameterizations, fitted table first:
+
+    * **fitted** — ``horizons_s``/``sigmas_deg`` hold a per-horizon RMS
+      error table from :func:`fit_error_model`; queries interpolate
+      linearly and clamp at the table ends;
+    * **parametric** — ``base_sigma_deg + growth_deg_per_s * h``, the
+      Gaussian fallback when no traces are available.
+
+    Either way the result is capped at ``max_sigma_deg``.  A model whose
+    sigma is zero everywhere (``is_degenerate``) collapses robust
+    planning onto the point-prediction path bit-for-bit.
+    """
+
+    base_sigma_deg: float = 0.0
+    growth_deg_per_s: float = 0.0
+    max_sigma_deg: float = 45.0
+    horizons_s: tuple = ()
+    sigmas_deg: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "horizons_s", tuple(float(h) for h in self.horizons_s)
+        )
+        object.__setattr__(
+            self, "sigmas_deg", tuple(float(s) for s in self.sigmas_deg)
+        )
+        if len(self.horizons_s) != len(self.sigmas_deg):
+            raise ValueError("horizons and sigmas must have equal length")
+        if any(h < 0.0 for h in self.horizons_s):
+            raise ValueError("horizons must be non-negative")
+        if any(b >= a for b, a in zip(self.horizons_s, self.horizons_s[1:])):
+            raise ValueError("horizons must be strictly increasing")
+        if any(s < 0.0 for s in self.sigmas_deg):
+            raise ValueError("sigmas must be non-negative")
+        if self.base_sigma_deg < 0.0 or self.growth_deg_per_s < 0.0:
+            raise ValueError("base sigma and growth must be non-negative")
+        if self.max_sigma_deg <= 0.0:
+            raise ValueError("max sigma must be positive")
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Whether sigma is zero at every horizon (point prediction)."""
+        if self.horizons_s:
+            return max(self.sigmas_deg) <= 0.0
+        return self.base_sigma_deg <= 0.0 and self.growth_deg_per_s <= 0.0
+
+    def sigma_deg(self, horizon_s: float) -> float:
+        """Error scale (degrees) at a prediction horizon (seconds)."""
+        h = max(float(horizon_s), 0.0)
+        if self.horizons_s:
+            sigma = float(np.interp(h, self.horizons_s, self.sigmas_deg))
+        else:
+            sigma = self.base_sigma_deg + self.growth_deg_per_s * h
+        return min(sigma, self.max_sigma_deg)
+
+
+def fit_error_model(
+    traces: Iterable,
+    horizons_s: tuple = (0.25, 0.5, 1.0, 1.5),
+    *,
+    window_s: float = 2.0,
+    step_s: float = 0.25,
+    lam: float = 1.0,
+    max_sigma_deg: float = 45.0,
+) -> AngularErrorModel:
+    """Fit a per-horizon angular-error table by replaying the predictor.
+
+    Streams each head trace through a fresh :class:`ViewportPredictor`
+    (same window and regularization the session uses) and, every
+    ``step_s`` of trace time, scores the predicted center at each
+    horizon against the trace's actual orientation.  Windows whose
+    target time falls past the end of a trace are *excluded* rather than
+    scored against the clamped last sample — the trace cannot
+    ground-truth them, and the clamp would understate long-horizon
+    error.  Per-horizon sigma is the RMS angular error.
+
+    Pure replay of deterministic machinery: the same traces always give
+    the same model, regardless of process or ordering.
+    """
+    horizons = tuple(float(h) for h in horizons_s)
+    if not horizons or any(h <= 0.0 for h in horizons):
+        raise ValueError("horizons must be positive")
+    if any(b >= a for b, a in zip(horizons, horizons[1:])):
+        raise ValueError("horizons must be strictly increasing")
+    if step_s <= 0.0:
+        raise ValueError("step must be positive")
+
+    squared: list[list[float]] = [[] for _ in horizons]
+    trace_count = 0
+    for trace in traces:
+        trace_count += 1
+        predictor = ViewportPredictor(window_s=window_s, lam=lam)
+        t_end = float(trace.timestamps[-1])
+        next_eval = float(trace.timestamps[0]) + window_s
+        for t, yaw, pitch in zip(
+            trace.timestamps, trace.yaw_wrapped, trace.pitch
+        ):
+            t = float(t)
+            predictor.observe(t, float(yaw), float(pitch))
+            if t < next_eval:
+                continue
+            next_eval = t + step_s
+            for j, horizon in enumerate(horizons):
+                target = t + horizon
+                if target > t_end:
+                    continue
+                yaw_hat, pitch_hat = predictor.predict_center(target)
+                yaw_act, pitch_act = trace.orientation_at(target)
+                error = angular_distance_deg(
+                    yaw_hat, pitch_hat, yaw_act, pitch_act
+                )
+                squared[j].append(error * error)
+    if trace_count == 0:
+        raise ValueError("cannot fit an error model from zero traces")
+    sigmas = tuple(
+        float(np.sqrt(np.mean(errs))) if errs else 0.0 for errs in squared
+    )
+    return AngularErrorModel(
+        max_sigma_deg=max_sigma_deg,
+        horizons_s=horizons,
+        sigmas_deg=sigmas,
+    )

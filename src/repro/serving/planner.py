@@ -58,6 +58,17 @@ class VideoPlanner:
                 "VideoPlanner serves the MPC controller; got "
                 f"{getattr(scheme, 'name', scheme)!r}"
             )
+        # The batched path gathers deterministic Ptile-match rows, so an
+        # uncertainty-aware scheme would silently serve point-prediction
+        # plans under the robust name; refuse it up front.
+        from ..core.robust import RobustScheme
+
+        if isinstance(scheme, RobustScheme):
+            raise ValueError(
+                "VideoPlanner serves point-prediction planning only; "
+                "the robust scheme's probabilistic tile selection has "
+                "no batched path — run it through the session loop"
+            )
         self.scheme = scheme
         self.manifest = manifest
         self.num_segments = manifest.num_segments

@@ -49,6 +49,12 @@ class SegmentRecord:
     retries: int = 0
     timeouts: int = 0
     degraded_level: int = 0
+    # Uncertainty accounting (robust planning; trusting defaults on the
+    # point-prediction paths): the planner's expected viewport coverage
+    # of the downloaded region and the angular error scale (degrees) it
+    # planned against.
+    expected_coverage: float = 1.0
+    uncertainty_deg: float = 0.0
 
 
 @dataclass
@@ -178,6 +184,22 @@ class SessionResult:
     def skipped_segment_count(self) -> int:
         """Segments skipped outright (DegradationLevel.SKIPPED)."""
         return sum(1 for r in self.records if r.degraded_level >= 3)
+
+    # ------------------------------------------------------------------
+    # Uncertainty (robust planning; trusting defaults elsewhere)
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_expected_coverage(self) -> float:
+        """Mean planner-expected viewport coverage across segments."""
+        self._require_records()
+        return float(np.mean([r.expected_coverage for r in self.records]))
+
+    @property
+    def mean_uncertainty_deg(self) -> float:
+        """Mean angular error scale (degrees) planned against."""
+        self._require_records()
+        return float(np.mean([r.uncertainty_deg for r in self.records]))
 
     def _require_records(self) -> None:
         if not self.records:

@@ -32,8 +32,12 @@ passes:
   scalar loop.
 
 Supported: :class:`~repro.streaming.schemes.CtileScheme`,
-:class:`~repro.streaming.schemes.PtileScheme`, and
-:class:`~repro.core.controller.OursScheme` against a plain
+:class:`~repro.streaming.schemes.PtileScheme`,
+:class:`~repro.core.controller.OursScheme`, and
+:class:`~repro.core.robust.RobustScheme` (whose per-trace precompute
+additionally stacks the probability tensors — expected coverage, error
+scale, per-tile viewing probabilities — next to the Ptile-match data)
+against a plain
 :class:`~repro.traces.network.NetworkTrace` (optionally scaled for fair
 sharing, as :mod:`repro.streaming.multiclient` does) with an optional
 :class:`~repro.streaming.cache.EdgeHitModel`.  Resilience overlays and
@@ -197,6 +201,13 @@ class _TracePlans:
     windows: list  # (S,) MpcWindow | None
     viewports: list  # (S,) predicted Viewport (the MPC/planning input)
     speeds: np.ndarray  # (S,) predicted head speed at the request
+    # Probability tensors (robust scheme only; trusting defaults
+    # otherwise): the planner's expected coverage of the chosen region,
+    # the angular error scale it planned against, and the per-tile
+    # viewing probabilities under the FoV-error distribution.
+    expected_cov: np.ndarray  # (S,)
+    sigma_deg: np.ndarray  # (S,)
+    tile_probs: np.ndarray  # (S, T) — T = 0 unless the scheme is robust
 
 
 class PopulationEngine:
@@ -265,8 +276,14 @@ class PopulationEngine:
         # Lazy import: repro.core.controller itself imports the schemes
         # module, so a top-level import here would be circular.
         from ..core.controller import OursScheme
+        from ..core.robust import RobustScheme
 
-        if isinstance(scheme, OursScheme):
+        # RobustScheme subclasses OursScheme, so it must be checked
+        # first; its windows carry the expected-quality transform.
+        if isinstance(scheme, RobustScheme):
+            kind = "robust"
+            abr = scheme.fallback.abr
+        elif isinstance(scheme, OursScheme):
             kind = "ours"
             abr = scheme.fallback.abr
         elif isinstance(scheme, PtileScheme):
@@ -278,7 +295,8 @@ class PopulationEngine:
         else:
             raise ValueError(
                 f"unsupported scheme {getattr(scheme, 'name', scheme)!r}: "
-                "the population engine handles ctile, ptile, and ours"
+                "the population engine handles ctile, ptile, ours, "
+                "and robust"
             )
 
         if decision_client is not None and kind != "ours":
@@ -311,7 +329,7 @@ class PopulationEngine:
         self._decode_ptile_fps_j = self._energy_model.decoding_energy_j(
             TilingScheme.PTILE, fps
         )
-        if kind == "ours":
+        if kind in ("ours", "robust"):
             self._rates = scheme.ladder.rates()
             self._decode_rate_j = np.array([
                 self._energy_model.decoding_energy_j(TilingScheme.PTILE, r)
@@ -364,7 +382,7 @@ class PopulationEngine:
         length = self.length
         seg_s = config.segment_seconds
         fps = self._fps
-        n_rates = len(self._rates) if self.kind == "ours" else 1
+        n_rates = len(self._rates) if self.kind in ("ours", "robust") else 1
 
         predictor = ViewportPredictor(
             window_s=config.predictor_window_s, fov_deg=config.fov_deg
@@ -381,8 +399,22 @@ class PopulationEngine:
         windows: list = [None] * length
         viewports: list = [None] * length
         speeds = np.zeros(length)
+        expected_cov = np.ones(length)
+        sigma_deg = np.zeros(length)
+        grid = manifest.encoder.grid
+        tile_probs = np.zeros(
+            (length, grid.num_tiles if self.kind == "robust" else 0)
+        )
 
         from .schemes import PlanContext  # local: avoids a cycle warning
+
+        if self.kind == "robust":
+            from ..core.robust import expected_quality_window
+            from ..prediction.uncertainty import (
+                hypothesis_grid,
+                hypothesis_weights,
+                tile_view_probabilities,
+            )
 
         for k in range(length):
             playback_mid = (k + 0.5) * seg_s
@@ -420,6 +452,7 @@ class PopulationEngine:
                 predicted_speed_deg_s=predicted_speed,
                 segment_seconds=seg_s,
                 video_manifest=manifest,
+                prediction_horizon_s=playback_mid - prediction_time,
             )
 
             matched = (
@@ -427,7 +460,42 @@ class PopulationEngine:
                 if seg_ptiles is not None
                 else None
             )
-            if self.kind == "ctile" or matched is None:
+            robust_sigma = 0.0
+            if self.kind == "robust":
+                robust_sigma = self.scheme.error_model.sigma_deg(
+                    ctx.prediction_horizon_s
+                )
+            if robust_sigma > 0.0:
+                # Robust tile selection replaces the deterministic
+                # match; the window carries the expected-quality
+                # transform so _run_chunk's MPC loop needs no changes.
+                sigma_deg[k] = robust_sigma
+                hyp = hypothesis_grid(
+                    grid, predicted_vp.fov_h, predicted_vp.fov_v
+                )
+                tile_probs[k] = tile_view_probabilities(
+                    hypothesis_weights(
+                        hyp, predicted_vp.yaw, predicted_vp.pitch,
+                        robust_sigma,
+                    ),
+                    hyp,
+                )
+                selection = self.scheme.select_robust(ctx, robust_sigma)
+                if selection is None:
+                    sizes[k], hq_rects = self._ctile_row(ctx)
+                    decode_j[k] = self._decode_ctile_fps_j
+                else:
+                    chosen, horizon_cov = selection
+                    tables = self.scheme._plan_tables(ctx)
+                    windows[k] = expected_quality_window(
+                        tables.window(ctx, chosen), horizon_cov
+                    )
+                    expected_cov[k] = float(horizon_cov[0])
+                    hq_rects = split_wrapped_rect(chosen.rect)
+                    decode_j[k] = 0.0  # per-decision, filled at run time
+                    used[k] = True
+                    is_mpc[k] = True
+            elif self.kind == "ctile" or matched is None:
                 sizes[k], hq_rects = self._ctile_row(ctx)
                 decode_j[k] = self._decode_ctile_fps_j
             elif self.kind == "ptile":
@@ -488,6 +556,9 @@ class PopulationEngine:
             windows=windows,
             viewports=viewports,
             speeds=speeds,
+            expected_cov=expected_cov,
+            sigma_deg=sigma_deg,
+            tile_probs=tile_probs,
         )
         self._plans[trace_index] = plans
         return plans

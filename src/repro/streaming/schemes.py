@@ -12,6 +12,10 @@
   frame rate.
 * **Ours** — Ptile plus MPC-chosen (quality, frame rate); lives in
   :mod:`repro.core.controller` since it builds on the optimizer.
+* **Robust** — Ours with probabilistic viewport coverage: tile
+  selection and the MPC objective maximize *expected* viewport quality
+  under the FoV-prediction error model; lives in
+  :mod:`repro.core.robust` since it subclasses the MPC controller.
 
 Every scheme turns a :class:`PlanContext` (what the client knows when it
 requests segment k) into a :class:`DownloadPlan` (what is downloaded and
@@ -78,6 +82,10 @@ class PlanContext:
     # loop always does).  Lets planners precompute tables spanning every
     # segment instead of rebuilding the sliding lookahead window.
     video_manifest: VideoManifest | None = None
+    # How far ahead of the head-trace history the predicted viewport
+    # is (seconds).  Uncertainty-aware planners scale their error model
+    # with it; deterministic schemes ignore it.
+    prediction_horizon_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -92,6 +100,12 @@ class DownloadPlan:
     hq_rects: tuple[Rect, ...] = field(default_factory=tuple)
     full_coverage: bool = False
     used_ptile: bool = False
+    # Uncertainty accounting (robust planning): the expected viewport
+    # coverage of the chosen region under the FoV-error distribution,
+    # and the error scale that produced it.  Point-prediction schemes
+    # keep the trusting defaults (certain full hit, zero error).
+    expected_coverage: float = 1.0
+    sigma_deg: float = 0.0
 
     def coverage_of(self, viewport: Viewport) -> float:
         """Fraction of the viewport area served at high quality."""

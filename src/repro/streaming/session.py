@@ -210,6 +210,10 @@ def run_session(
             predicted_speed_deg_s=predicted_speed,
             segment_seconds=config.segment_seconds,
             video_manifest=manifest,
+            # How far past the freshest head sample the prediction
+            # reaches; uncertainty-aware planners scale their error
+            # model with it.
+            prediction_horizon_s=playback_mid - prediction_time,
         )
         plan = scheme.plan(ctx)
 
@@ -351,6 +355,8 @@ def run_session(
                 retries=outcome.retries if resilient else 0,
                 timeouts=outcome.timeouts if resilient else 0,
                 degraded_level=int(outcome.level) if resilient else 0,
+                expected_coverage=delivered.expected_coverage,
+                uncertainty_deg=delivered.sigma_deg,
             )
         )
     return result

@@ -224,3 +224,29 @@ class TestResilienceCli:
         assert "none:ptile" in out
         assert "lossy:ptile" in out
         assert "retries=" in out
+
+
+class TestRobustCommand:
+    def test_bad_uncertainty_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["robust", "--uncertainty", "-1"])
+        with pytest.raises(SystemExit):
+            main(["robust", "--uncertainty-growth", "-0.5"])
+
+    def test_robust_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robust", "--robust-scheme", "wat"])
+        args = build_parser().parse_args(["robust", "--robust-scheme", "pano"])
+        assert args.robust_scheme == "pano"
+
+    def test_robust_tiny_run(self, capsys):
+        rc = main([
+            "robust", "--duration", "12", "--users", "1",
+            "--fault-profile", "none,lossy", "--no-artifact-cache",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "none:ours" in out
+        assert "none:robust" in out
+        assert "lossy:robust" in out
+        assert "sigma=" in out and "expcov=" in out

@@ -125,3 +125,69 @@ class TestViewportPredictor:
     def test_validation(self):
         with pytest.raises(ValueError):
             ViewportPredictor(window_s=0.0)
+
+
+class TestPredictionBoundary:
+    """Targets past the usable horizon clamp — and say so (S1).
+
+    ``predict_center`` extrapolates at most ``max_extrapolation_s``
+    past the last observation; ``prediction_end_s`` exposes the time a
+    prediction is actually *for*, so callers (the error-model fit, the
+    robust planner) never mistake a clamped prediction for a
+    full-horizon one.
+    """
+
+    def test_prediction_end_clamps_to_extrapolation_cap(self):
+        p = ViewportPredictor(lam=1e-6, max_extrapolation_s=1.0)
+        for i in range(20):
+            p.observe(i * 0.1, 100.0 + i, 0.0)  # last sample at t=1.9
+        assert p.prediction_end_s(10.0) == pytest.approx(2.9)
+        # In-range targets are honored exactly.
+        assert p.prediction_end_s(2.4) == pytest.approx(2.4)
+        # Past targets clamp to the last observation.
+        assert p.prediction_end_s(0.5) == pytest.approx(1.9)
+
+    def test_prediction_end_matches_capped_prediction(self):
+        # The prediction for a far target equals the prediction at the
+        # clamped end time: the clamp is real, not cosmetic.
+        p = ViewportPredictor(lam=1e-6, max_extrapolation_s=1.0)
+        for i in range(20):
+            p.observe(i * 0.1, 100.0 + i, 0.0)
+        far = p.predict_center(50.0)
+        capped = p.predict_center(p.prediction_end_s(50.0))
+        assert far[0] == pytest.approx(capped[0])
+        assert far[1] == pytest.approx(capped[1])
+
+    def test_prediction_end_with_sparse_history(self):
+        # Below the 4-sample trend threshold the predictor holds the
+        # last observation, and prediction_end_s reports exactly that.
+        p = ViewportPredictor()
+        p.observe(0.0, 10.0, 0.0)
+        p.observe(0.1, 11.0, 0.0)
+        assert p.prediction_end_s(5.0) == pytest.approx(0.1)
+        yaw, _ = p.predict_center(5.0)
+        assert yaw == pytest.approx(11.0)
+
+    def test_prediction_end_requires_observations(self):
+        with pytest.raises(RuntimeError):
+            ViewportPredictor().prediction_end_s(1.0)
+
+    def test_fit_excludes_windows_past_trace_end(self):
+        # A trace too short to ground-truth the long horizon: the fit
+        # must leave that bucket empty (sigma 0) instead of scoring the
+        # prediction against the clamped final sample.
+        from repro.prediction import fit_error_model
+        from repro.traces.head_movement import HeadTrace
+
+        t = np.arange(0.0, 3.0, 0.1)
+        trace = HeadTrace(
+            user_id=0, video_id=0, timestamps=t,
+            yaw_unwrapped=5.0 * t, pitch=np.zeros(t.size),
+        )
+        # Evaluation starts after window_s=2.0; the trace ends at
+        # t=2.9, so 5-second targets never fit inside it.
+        model = fit_error_model(
+            [trace], horizons_s=(0.25, 5.0), window_s=2.0
+        )
+        assert model.sigmas_deg[0] > 0.0
+        assert model.sigmas_deg[1] == 0.0
