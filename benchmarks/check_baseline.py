@@ -119,6 +119,12 @@ def extract_metrics(report: dict) -> dict[str, float]:
         "serving_p99_ms": _extra(
             report, "test_serving_batched_vs_sequential", "serving_p99_ms"
         ),
+        "warm_ladder_speedup": _extra(
+            report, "test_ladder_search_cold_vs_warm", "warm_ladder_speedup"
+        ),
+        "ladder_search_s": _extra(
+            report, "test_ladder_search_cold_vs_warm", "ladder_search_s"
+        ),
     }
 
 

@@ -57,8 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "table1", "table2", "table3",
             "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "ablation", "shared-cache", "resilience",
-            "robust", "population", "serve", "report", "all",
+            "fig10", "fig11", "ablation", "ladder", "shared-cache",
+            "resilience", "robust", "population", "serve", "report", "all",
         ],
         help="which table/figure to regenerate (or 'serve' to run the "
              "online decision service)",
@@ -190,6 +190,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--videos", metavar="ID[,ID...]", default="8",
         help="video ids the decision service builds plan tables for "
              "(serve command)",
+    )
+    parser.add_argument(
+        "--quality-targets", metavar="QO[,QO...]", default=None,
+        help="per-level mean-quality (Eq. 3 Qo) floors the ladder "
+             "optimizer must hold, comma-separated lowest-to-highest "
+             "level (ladder experiment; default: the catalog's 25th-"
+             "percentile per-level quality under the fixed ladder)",
+    )
+    parser.add_argument(
+        "--ladder-cache", metavar="DIR", default=None,
+        help="directory of the per-video ladder-search cache (ladder "
+             "experiment; default: shares the artifact-cache directory). "
+             "Warm runs reuse searches keyed by video content, targets, "
+             "and search config; results are identical either way",
+    )
+    parser.add_argument(
+        "--movable-levels", type=int, default=1,
+        help="how many of the lowest quality rungs the ladder search "
+             "may move (ladder experiment; 0 = all non-pinned rungs). "
+             "The default moves only the background rung, which is a "
+             "strict bits-and-energy win; larger values shed more "
+             "ladder bits but let the MPC trade them into quality",
     )
     parser.add_argument(
         "--uncertainty", type=float, default=8.0,
@@ -439,6 +461,42 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
               f"{snap['batches']} batch(es), mean batch "
               f"{snap['mean_batch_size']:.2f}, p50 {snap['p50_ms']:.3f}ms, "
               f"p99 {snap['p99_ms']:.3f}ms, {snap['errors']} error(s)")
+    elif name == "ladder":
+        from .encoding import LadderSearchConfig
+        from .experiments import sweep_ladder
+
+        setup = make_setup(max_duration_s=args.duration, seed=args.seed,
+                           artifacts=_artifact_store(args))
+        if args.ladder_cache is not None:
+            ladder_store = ArtifactStore(args.ladder_cache)
+        else:
+            ladder_store = _artifact_store(args)
+        config = LadderSearchConfig(
+            movable_levels=(
+                None if args.movable_levels == 0 else args.movable_levels
+            ),
+        )
+        points = sweep_ladder(
+            setup,
+            device=get_device(args.device),
+            users=args.users,
+            quality_targets=args.quality_targets_parsed,
+            search_config=config,
+            ladder_store=ladder_store,
+            workers=args.workers,
+            results=_results_store(args),
+        )
+        targets_desc = (
+            "q25 catalog targets" if args.quality_targets_parsed is None
+            else f"targets {args.quality_targets}"
+        )
+        movable_desc = (
+            "all rungs" if args.movable_levels == 0
+            else f"lowest {args.movable_levels} rung(s)"
+        )
+        print(f"-- encoding ladder ({targets_desc}, {movable_desc}) --")
+        for point in points:
+            print(point.report())
     elif name == "ablation":
         from .experiments import (
             make_setup as _make_setup,
@@ -539,6 +597,17 @@ def _main(argv: list[str] | None) -> int:
         args.fault_profile, str.strip, "--fault-profile", parser
     )
     args.videos_parsed = _parse_csv(args.videos, int, "--videos", parser)
+    if args.quality_targets is None:
+        args.quality_targets_parsed = None
+    else:
+        args.quality_targets_parsed = _parse_csv(
+            args.quality_targets, float, "--quality-targets", parser
+        )
+        if any(not 0.0 <= t <= 100.0 for t in args.quality_targets_parsed):
+            parser.error("--quality-targets must be Qo scores in [0, 100]")
+    if args.movable_levels < 0:
+        parser.error("--movable-levels must be >= 0 (0 = all non-pinned "
+                     "rungs)")
     if not 0 <= args.port <= 65535:
         parser.error("--port must be in [0, 65535]")
     if args.max_batch < 1:

@@ -8,10 +8,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..encoding.ladder import DEFAULT_ENCODING_LADDER, EncodingLadder
 from ..geometry.tiling import TileGrid
 from ..ptile.construction import PtileConfig
 from ..qoe.metrics import QoEWeights
-from ..video.encoder import QUALITY_LEVELS
 from ..video.framerate import FrameRateLadder
 from .optimizer import MpcConfig
 
@@ -35,7 +35,8 @@ class StreamingConfig:
     grid_cols: int = 8
     fov_deg: float = 100.0
     buffer_threshold_s: float = 3.0
-    qualities: tuple[int, ...] = QUALITY_LEVELS
+    qualities: tuple[int, ...] = DEFAULT_ENCODING_LADDER.levels
+    encoding_ladder: EncodingLadder = DEFAULT_ENCODING_LADDER
     ladder: FrameRateLadder = field(default_factory=FrameRateLadder)
     qoe_weights: QoEWeights = field(default_factory=QoEWeights)
     qoe_tolerance: float = 0.05
@@ -44,6 +45,18 @@ class StreamingConfig:
     bandwidth_window: int = 5
     n_users: int = 48
     n_train_users: int = 40
+
+    def __post_init__(self) -> None:
+        # ``qualities`` and the encoding ladder are two views of the same
+        # ladder; a silent mismatch would let ABR enumerate levels the
+        # encoder cannot price (or skip ones it can).
+        if tuple(self.qualities) != self.encoding_ladder.levels:
+            raise ValueError(
+                f"qualities {tuple(self.qualities)} disagree with the "
+                f"encoding ladder's {self.encoding_ladder.num_levels} "
+                f"levels {self.encoding_ladder.levels}; pass matching "
+                "qualities/encoding_ladder"
+            )
 
     def make_grid(self) -> TileGrid:
         return TileGrid(self.grid_rows, self.grid_cols)

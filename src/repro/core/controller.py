@@ -148,6 +148,11 @@ class OursScheme:
         directly) get tables keyed by the exact window instead.
         """
         rates = self.ladder.rates()
+        # The encoding ladder is per-video state carried by the manifest's
+        # encoder; one scheme instance may plan the same video under both
+        # the fixed and an optimized ladder (the ladder sweep does), so
+        # the memo key must separate them.
+        encoding = ctx.manifest.encoder.ladder.digest()
         video = ctx.video_manifest
         if video is not None:
             key = (
@@ -156,6 +161,7 @@ class OursScheme:
                 video.num_segments,
                 ctx.fps,
                 rates,
+                encoding,
             )
             return self._tables_for(key, tuple(video), ctx.fps)
         manifests = ctx.future_manifests or (ctx.manifest,)
@@ -165,6 +171,7 @@ class OursScheme:
             tuple(m.segment_index for m in manifests),
             ctx.fps,
             rates,
+            encoding,
         )
         return self._tables_for(key, tuple(manifests), ctx.fps)
 

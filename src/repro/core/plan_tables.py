@@ -7,8 +7,10 @@ were therefore already computed the previous segment — and once a video
 has been planned by one user, every other session over the same video
 needs the *same* tables again.
 
-:class:`PlanTables` precomputes those tables per (video, frame-rate
-ladder, fps, quality model), batched across the whole video:
+:class:`PlanTables` precomputes those tables per (video, encoding
+ladder, frame-rate ladder, fps, quality model), batched across the
+whole video — the quality axis enumerates the levels of the video's
+own :class:`~repro.encoding.ladder.EncodingLadder`:
 
 * ``qo`` — a stacked ``(S, V)`` tensor of Eq. 3 qualities, one row per
   segment, one column per bitrate level;
@@ -35,7 +37,6 @@ import numpy as np
 from ..ptile.construction import Ptile, partition_remainder
 from ..qoe.framerate import alpha_from_behavior, frame_rate_factor
 from ..qoe.quality import QualityModel
-from ..video.encoder import QUALITY_LEVELS
 from ..video.segments import SegmentManifest
 from .optimizer import MpcWindow
 
@@ -67,10 +68,13 @@ class PlanTables:
         self.fps = float(fps)
         self._row = {m.segment_index: i for i, m in enumerate(self.manifests)}
         self.ti = np.array([m.ti for m in self.manifests])
+        # Quality levels come from the video's own encoding ladder (the
+        # per-content optimizer may have swapped the default rungs out).
+        self.levels = self.manifests[0].encoder.ladder.levels
         self.qo = np.array([
             [
                 quality_model.qo(m.si, m.ti, m.qoe_bitrate_mbps(v))
-                for v in QUALITY_LEVELS
+                for v in self.levels
             ]
             for m in self.manifests
         ])  # (S, V)
@@ -141,13 +145,13 @@ class PlanTables:
         # per-call computation bit for bit.
         remainder = partition_remainder(ptile.grid, ptile)
         rates = self.rates
-        sizes = np.empty((len(self.manifests), len(QUALITY_LEVELS), len(rates)))
+        sizes = np.empty((len(self.manifests), len(self.levels), len(rates)))
         for row, manifest in enumerate(self.manifests):
             background = sum(
                 manifest.region_size_mbit(b.key, b.area_fraction, _LOWEST_QUALITY)
                 for b in remainder
             )
-            for vi, v in enumerate(QUALITY_LEVELS):
+            for vi, v in enumerate(self.levels):
                 for fi, rate in enumerate(rates):
                     sizes[row, vi, fi] = (
                         manifest.region_size_mbit(

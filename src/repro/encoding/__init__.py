@@ -1,0 +1,47 @@
+"""Per-content encoding-ladder subsystem.
+
+``ladder`` holds the :class:`EncodingLadder` value type (stdlib-only;
+the encoder model imports it).  ``optimizer`` holds the per-video
+ladder search; it depends on the experiment layer, so its names are
+loaded lazily to keep ``repro.video.encoder -> repro.encoding`` free
+of import cycles.
+"""
+
+from .ladder import (
+    CRF_MAX,
+    CRF_MIN,
+    DEFAULT_ENCODING_LADDER,
+    MIN_CRF_SPACING,
+    EncodingLadder,
+)
+
+__all__ = [
+    "CRF_MAX",
+    "CRF_MIN",
+    "DEFAULT_ENCODING_LADDER",
+    "MIN_CRF_SPACING",
+    "EncodingLadder",
+    "LadderSearchConfig",
+    "VideoLadderResult",
+    "default_quality_targets",
+    "optimize_catalog",
+    "optimize_video_ladder",
+]
+
+_OPTIMIZER_NAMES = frozenset(
+    {
+        "LadderSearchConfig",
+        "VideoLadderResult",
+        "default_quality_targets",
+        "optimize_catalog",
+        "optimize_video_ladder",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _OPTIMIZER_NAMES:
+        from . import optimizer
+
+        return getattr(optimizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

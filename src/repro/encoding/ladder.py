@@ -1,0 +1,146 @@
+"""Encoding ladders: the CRF rungs behind the integer quality levels.
+
+The paper encodes every video with one fixed ladder — CRF 38..18 in
+steps of 5, i.e. ``quality q -> 43 - 5q`` — but the catalog spans a
+wide SI/TI range, so the same CRF buys very different bitrate/quality
+on different content.  :class:`EncodingLadder` turns that hard-coded
+mapping into a per-video value type that the encoder model, plan
+tables, sessions, and artifact keys all consume, so a per-content
+optimizer (``repro.encoding.optimizer``) can swap the rungs without
+touching any consumer.
+
+Exactness contract: for the default ladder, :meth:`EncodingLadder.crf`
+is bit-identical to the legacy ``43.0 - 5.0 * quality`` for every
+quality the codebase ever evaluates — integer levels and the
+quarter-step fractional levels used by the Nontile ladder sweep.  The
+piecewise-linear form ``crfs[lo-1] + frac * (crfs[lo] - crfs[lo-1])``
+computes ``38 + 0.5 * (-5) = 35.5`` etc. with exact float arithmetic
+(the fractional part of a quarter-step quality in [1, 5] is exact, and
+the products/sums stay on representable values), so default-ladder
+runs are byte-identical to the pre-ladder code paths.
+
+This module is deliberately stdlib-only: the encoder model imports it,
+and everything else imports the encoder model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "CRF_MAX",
+    "CRF_MIN",
+    "DEFAULT_ENCODING_LADDER",
+    "MIN_CRF_SPACING",
+    "EncodingLadder",
+]
+
+# x264/x265 expose CRF 0..51; the analytic rate law is calibrated well
+# inside that range but stays monotone across all of it.
+CRF_MIN = 0.0
+CRF_MAX = 51.0
+
+# Adjacent rungs closer than this are indistinguishable under the rate
+# law's 4-CRF halving constant and would make the ladder pointless.
+MIN_CRF_SPACING = 1.0
+
+
+@dataclass(frozen=True)
+class EncodingLadder:
+    """Monotone CRF rungs, one per integer quality level.
+
+    ``crfs[q - 1]`` is the CRF encoding quality level ``q``; rungs
+    strictly decrease (higher quality = lower CRF) with at least
+    :data:`MIN_CRF_SPACING` between neighbours, and every rung sits in
+    ``[CRF_MIN, CRF_MAX]``.  Instances are immutable, hashable, and
+    digestable for artifact-store cache keys.
+    """
+
+    crfs: tuple[float, ...] = (38.0, 33.0, 28.0, 23.0, 18.0)
+
+    def __post_init__(self) -> None:
+        crfs = tuple(float(c) for c in self.crfs)
+        object.__setattr__(self, "crfs", crfs)
+        if len(crfs) < 2:
+            raise ValueError(
+                f"an encoding ladder needs at least 2 rungs, got {len(crfs)}"
+            )
+        for crf in crfs:
+            if not math.isfinite(crf) or not (CRF_MIN <= crf <= CRF_MAX):
+                raise ValueError(
+                    f"CRF rungs must be finite and within "
+                    f"[{CRF_MIN:g}, {CRF_MAX:g}], got {crf!r}"
+                )
+        for lower, upper in zip(crfs[1:], crfs):
+            if upper - lower < MIN_CRF_SPACING:
+                raise ValueError(
+                    "CRF rungs must strictly decrease by at least "
+                    f"{MIN_CRF_SPACING:g} per level, got {crfs}"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.crfs)
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """The integer quality levels this ladder serves: ``1..n``."""
+        return tuple(range(1, len(self.crfs) + 1))
+
+    # ------------------------------------------------------------------
+    # Quality -> CRF
+    # ------------------------------------------------------------------
+
+    def crf(self, quality: float) -> float:
+        """CRF for ``quality``; fractional levels interpolate linearly.
+
+        This is the one place quality levels are validated: integer
+        levels index the rungs directly, fractional levels (used by the
+        Nontile ladder-step sweep) interpolate between the bracketing
+        rungs, and anything outside ``[1, num_levels]`` raises.
+        """
+        q = float(quality)
+        n = len(self.crfs)
+        if not (1.0 <= q <= float(n)):
+            raise ValueError(f"quality must be within [1, {n}], got {quality}")
+        lo = min(int(q), n - 1)
+        frac = q - lo
+        if frac == 0.0:
+            return self.crfs[lo - 1]
+        return self.crfs[lo - 1] + frac * (self.crfs[lo] - self.crfs[lo - 1])
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """Structural fingerprint for artifact-store key hashing."""
+        return ("encoding-ladder", self.crfs)
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the rungs (memoized); cache-key safe."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            h = hashlib.sha256(b"encoding-ladder-v1")
+            h.update(struct.pack(f"<I{len(self.crfs)}d", len(self.crfs), *self.crfs))
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def __getstate__(self):
+        # Drop the digest memo so pickles stay content-addressed.
+        return {"crfs": self.crfs}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "crfs", state["crfs"])
+
+
+#: The paper's fixed ladder: CRF 38..18 step 5, i.e. ``43 - 5q``.
+DEFAULT_ENCODING_LADDER = EncodingLadder()

@@ -58,6 +58,7 @@ __all__ = [
     "sweep_bandwidth_estimator",
     "sweep_clustering_sigma",
     "sweep_edge_cache",
+    "sweep_ladder",
     "sweep_shared_cache",
     "sweep_viewport_predictor",
     "sweep_resilience",
@@ -792,6 +793,152 @@ def sweep_robust(
                     },
                 )
             )
+    return points
+
+
+def sweep_ladder(
+    setup: ExperimentSetup,
+    device: DevicePowerModel = PIXEL_3,
+    video_ids: tuple[int, ...] | None = None,
+    users: int = 2,
+    quality_targets: tuple[float, ...] | None = None,
+    search_config=None,
+    ladder_store: ArtifactStore | None = None,
+    workers: int | None = 1,
+    results: ArtifactStore | None = None,
+) -> list[AblationPoint]:
+    """Fixed vs per-content optimized encoding ladders, across videos.
+
+    Runs the per-video ladder search
+    (:func:`~repro.encoding.optimizer.optimize_catalog`; cached in
+    ``ladder_store`` under content-hash keys, fanned over ``workers``),
+    then streams the ``ours`` MPC scheme over trace 2 under both the
+    fixed paper ladder and the optimized ladders, one
+    :class:`AblationPoint` per ``(video, ladder)`` pair labelled
+    ``"v<id>:fixed"`` / ``"v<id>:opt"``.  ``extra`` carries the mean
+    downloaded Mbit per segment and (for ``opt`` points) the search's
+    per-level FoV-bit saving.  A final ``"frontier"`` point summarizes
+    the shift: how many videos improved energy or QoE at equal-or-lower
+    downloaded bits.
+
+    ``quality_targets`` defaults to the catalog's 25th-percentile
+    per-level Qo (:func:`~repro.encoding.optimizer.default_quality_targets`),
+    under which most of the catalog sheds background bits while the
+    hardest quarter keeps the paper ladder untouched.  Deterministic
+    and cache-stable
+    like every sweep here: byte-identical at any ``workers`` count,
+    cold or warm ``ladder_store``/``results``.
+    """
+    from ..encoding.optimizer import LadderSearchConfig, optimize_catalog
+    from ..qoe.quality import QualityModel
+
+    if video_ids is None:
+        video_ids = tuple(v.meta.video_id for v in setup.videos)
+    if not video_ids:
+        raise ValueError("need at least one video to sweep")
+    videos = [setup.dataset.video(vid) for vid in video_ids]
+    if users < 1:
+        raise ValueError("need at least one user per video")
+    search_config = search_config or LadderSearchConfig()
+    quality_model = QualityModel()
+
+    search = optimize_catalog(
+        videos,
+        setup.encoder,
+        targets=quality_targets,
+        config=search_config,
+        quality_model=quality_model,
+        store=ladder_store,
+        workers=workers,
+    )
+    opt_setup = setup.with_ladders(
+        {vid: search[vid].ladder for vid in video_ids}
+    )
+
+    scheme = OursScheme(device=device)
+    heads = {
+        vid: tuple(setup.dataset.test_traces(vid)[:users])
+        for vid in video_ids
+    }
+    variants = {"fixed": setup, "opt": opt_setup}
+    sessions: dict[tuple[str, int], list[SessionResult]] = {}
+    for variant, var_setup in variants.items():
+        context = SweepContext(
+            schemes={scheme.name: scheme},
+            device=device,
+            networks={"trace2": var_setup.trace2},
+            manifests={vid: var_setup.manifest(vid) for vid in video_ids},
+            head_traces=heads,
+            ptiles={vid: var_setup.ptiles(vid) for vid in video_ids},
+            config=var_setup.session_config,
+        )
+        jobs = [
+            SessionJob(
+                key=(variant, vid, user),
+                scheme=scheme.name,
+                video_id=vid,
+                network="trace2",
+                user_index=user,
+            )
+            for vid in video_ids
+            for user in range(len(heads[vid]))
+        ]
+        run = run_session_jobs(
+            context, jobs, workers=workers, results=results
+        )
+        for job, session in zip(jobs, run.results):
+            sessions.setdefault((variant, job.video_id), []).append(session)
+
+    def _mbit_per_segment(batch: list[SessionResult]) -> float:
+        return float(np.mean([
+            sum(r.size_mbit for r in s.records) / max(len(s.records), 1)
+            for s in batch
+        ]))
+
+    points = []
+    improved = 0
+    for vid in video_ids:
+        stats = {}
+        for variant in variants:
+            batch = sessions[(variant, vid)]
+            energy = float(np.mean([s.energy_per_segment_j for s in batch]))
+            qoe = float(np.mean([s.mean_qoe for s in batch]))
+            rebuf = float(np.mean([s.rebuffer_count for s in batch]))
+            mbit = _mbit_per_segment(batch)
+            stats[variant] = (energy, qoe, mbit)
+            extra = {"mbit": mbit}
+            if variant == "opt":
+                extra["saved"] = search[vid].bits_saved_frac
+            points.append(
+                AblationPoint(f"v{vid}:{variant}", energy, qoe, rebuf,
+                              extra=extra)
+            )
+        (e_fix, q_fix, b_fix), (e_opt, q_opt, b_opt) = (
+            stats["fixed"], stats["opt"],
+        )
+        if b_opt <= b_fix * (1.0 + 1e-9) and (
+            e_opt < e_fix - 1e-9 or q_opt > q_fix + 1e-9
+        ):
+            improved += 1
+    fixed_all = [s for vid in video_ids for s in sessions[("fixed", vid)]]
+    opt_all = [s for vid in video_ids for s in sessions[("opt", vid)]]
+    points.append(
+        AblationPoint(
+            "frontier",
+            float(np.mean([s.energy_per_segment_j for s in opt_all]))
+            - float(np.mean([s.energy_per_segment_j for s in fixed_all])),
+            float(np.mean([s.mean_qoe for s in opt_all]))
+            - float(np.mean([s.mean_qoe for s in fixed_all])),
+            float(np.mean([s.rebuffer_count for s in opt_all]))
+            - float(np.mean([s.rebuffer_count for s in fixed_all])),
+            extra={
+                "improved": float(improved),
+                "videos": float(len(video_ids)),
+                "mbit": _mbit_per_segment(opt_all)
+                - _mbit_per_segment(fixed_all),
+            },
+        )
+    )
     return points
 
 

@@ -84,6 +84,7 @@ __all__ = [
     "default_cache_dir",
     "encoder_fingerprint",
     "grid_fingerprint",
+    "ladder_key",
     "manifest_key",
     "ptiles_key",
     "ftiles_key",
@@ -97,8 +98,14 @@ __all__ = [
     "video_fingerprint",
 ]
 
-ARTIFACT_SCHEMA_VERSION = 1
-"""Bumped whenever the on-disk layout or the key composition changes."""
+ARTIFACT_SCHEMA_VERSION = 2
+"""Bumped whenever the on-disk layout or the key composition changes.
+
+v2: per-content encoding ladders — :func:`encoder_fingerprint` gained
+the encoder's :class:`~repro.encoding.ladder.EncodingLadder`
+fingerprint (manifests encoded under different ladders can never share
+a slot) and the new ``ladder`` artifact kind caches optimizer search
+results."""
 
 RESULTS_SCHEMA_VERSION = 4
 """Bumped whenever the session-result schema or the fingerprint
@@ -121,9 +128,14 @@ v4: uncertainty-aware robust planning — SegmentRecord gained
 ``prediction_horizon_s``; the robust scheme's ``AngularErrorModel`` /
 ``PanoWeight`` / ``min_expected_coverage`` fingerprint structurally
 through the generic dataclass walk, so robust and point-prediction
-sweeps can never share a cached session."""
+sweeps can never share a cached session.
 
-ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles", "results")
+v5: per-content encoding ladders — the encoder fingerprint (and with
+it every VideoManifest and sweep-context digest) now covers the
+encoding ladder, so sessions run under the fixed and an optimized
+ladder can never share a cached result."""
+
+ARTIFACT_KINDS = ("manifest", "ptiles", "ftiles", "results", "ladder")
 
 
 def default_cache_dir() -> Path:
@@ -213,6 +225,7 @@ def encoder_fingerprint(encoder: EncoderModel) -> tuple:
         encoder.ref_bitrate_mbps,
         encoder.noise_sigma,
         encoder.seed,
+        encoder.ladder.fingerprint(),
     )
 
 
@@ -258,6 +271,31 @@ def ptiles_key(
         grid_fingerprint(grid),
         config.fingerprint(grid),
         traces_fingerprint(train_traces),
+    )
+
+
+def ladder_key(
+    video: Video,
+    encoder: EncoderModel,
+    targets: Sequence[float],
+    search_config: Any,
+    quality_model: Any,
+) -> str:
+    """Cache key for one video's optimized-ladder search result.
+
+    Covers everything the search reads: the video's SI/TI content, the
+    encoder rate law (including the base ladder the search never
+    crosses), the per-level quality targets, the search configuration,
+    and the Eq. 3 coefficients scoring candidate rungs — plus the code
+    version via :func:`_versioned`.
+    """
+    return _versioned(
+        "ladder",
+        video_fingerprint(video),
+        encoder_fingerprint(encoder),
+        tuple(float(t) for t in targets),
+        structural_fingerprint(search_config),
+        structural_fingerprint(quality_model),
     )
 
 

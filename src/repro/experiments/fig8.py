@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..video.content import Video, build_catalog
-from ..video.encoder import EncoderModel, QUALITY_LEVELS
+from ..video.encoder import EncoderModel
 
 __all__ = ["Fig8Result", "run_fig8", "PAPER_MEDIANS"]
 
@@ -60,7 +60,8 @@ def run_fig8(
     videos = videos or build_catalog()
     encoder = encoder or EncoderModel()
     area = _FOV_TILES / encoder.grid.num_tiles
-    ratios: dict[int, list[float]] = {q: [] for q in QUALITY_LEVELS}
+    levels = encoder.ladder.levels
+    ratios: dict[int, list[float]] = {q: [] for q in levels}
     for video in videos:
         n = video.num_segments
         if segments_per_video is None:
@@ -71,7 +72,7 @@ def run_fig8(
             )
         for idx in picks:
             seg = video.segment(int(idx))
-            for q in QUALITY_LEVELS:
+            for q in levels:
                 ptile = encoder.region_size_mbit(
                     q, seg.si, seg.ti, area,
                     noise_key=(video.meta.video_id, int(idx), "fig8-ptile"),

@@ -12,7 +12,10 @@ videos and ``users_per_video`` limits the test users.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+
+from ..encoding.ladder import EncodingLadder
 
 from ..core.controller import OursScheme
 from ..geometry.tiling import DEFAULT_GRID, TileGrid
@@ -63,6 +66,7 @@ class ExperimentSetup:
     ptile_config: PtileConfig = field(default_factory=PtileConfig)
     session_config: SessionConfig = field(default_factory=SessionConfig)
     artifacts: ArtifactStore | None = None
+    ladders: dict[int, EncodingLadder] = field(default_factory=dict)
     _manifests: dict[int, VideoManifest] = field(default_factory=dict, repr=False)
     _ptiles: dict[int, list[SegmentPtiles]] = field(default_factory=dict, repr=False)
     _ftiles: dict[int, list[FtilePartition]] = field(default_factory=dict, repr=False)
@@ -71,16 +75,39 @@ class ExperimentSetup:
     def videos(self) -> tuple[Video, ...]:
         return self.dataset.videos
 
+    def encoder_for(self, video_id: int) -> EncoderModel:
+        """The encoder pricing one video: the shared model, with the
+        video's own ladder swapped in when ``ladders`` overrides it."""
+        ladder = self.ladders.get(video_id)
+        if ladder is None or ladder == self.encoder.ladder:
+            return self.encoder
+        return dataclasses.replace(self.encoder, ladder=ladder)
+
+    def with_ladders(
+        self, ladders: dict[int, EncodingLadder]
+    ) -> "ExperimentSetup":
+        """A sibling setup whose videos encode under per-video ladders.
+
+        Manifests are rebuilt lazily under the new ladders (their
+        artifact keys differ via the encoder fingerprint); Ptile and
+        Ftile construction depends only on head traces and geometry, so
+        the prepared caches are shared with the parent.
+        """
+        return dataclasses.replace(
+            self, ladders=dict(ladders), _manifests={}
+        )
+
     def manifest(self, video_id: int) -> VideoManifest:
         if video_id not in self._manifests:
             video = self.dataset.video(video_id)
+            encoder = self.encoder_for(video_id)
             built = None
             key = None
             if self.artifacts is not None:
-                key = manifest_key(video, self.encoder)
+                key = manifest_key(video, encoder)
                 built = self.artifacts.get("manifest", key)
             if built is None:
-                built = VideoManifest(video, self.encoder)
+                built = VideoManifest(video, encoder)
                 if self.artifacts is not None:
                     self.artifacts.put("manifest", key, built)
             self._manifests[video_id] = built

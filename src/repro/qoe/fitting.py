@@ -21,7 +21,7 @@ import numpy as np
 from scipy.optimize import least_squares
 
 from ..video.content import Video
-from ..video.encoder import EncoderModel, QUALITY_LEVELS
+from ..video.encoder import EncoderModel
 from .quality import QoCoefficients, QualityModel, TABLE_II
 
 __all__ = ["VMAFOracle", "FitResult", "build_training_set", "fit_qo_model"]
@@ -80,7 +80,7 @@ def build_training_set(
         indices = np.unique(np.linspace(0, n - 1, count).astype(int))
         for idx in indices:
             seg = video.segment(int(idx))
-            for quality in QUALITY_LEVELS:
+            for quality in encoder.ladder.levels:
                 si_list.append(seg.si)
                 ti_list.append(seg.ti)
                 b_list.append(encoder.qoe_bitrate_mbps(quality, seg.si, seg.ti))

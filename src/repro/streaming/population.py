@@ -73,8 +73,6 @@ from .session import SessionConfig, _TraceFeeder
 
 __all__ = ["PopulationEngine", "PopulationResult"]
 
-_ABR_QUALITIES = (1, 2, 3, 4, 5)
-
 
 @dataclass
 class PopulationResult:
@@ -342,6 +340,11 @@ class PopulationEngine:
         else:
             self._rates = ()
 
+        # ABR quality levels come from the video's encoding ladder; the
+        # vectorized paths below are index-based (level = index + 1), which
+        # EncodingLadder.levels guarantees for any ladder length.
+        self._levels = manifest.encoder.ladder.levels
+
         # Eq. 3 quality per (segment, ABR quality) — trace-independent.
         quality_model = self.qoe.quality
         self._qo = np.array([
@@ -350,7 +353,7 @@ class PopulationEngine:
                     manifest[k].si, manifest[k].ti,
                     manifest[k].qoe_bitrate_mbps(q),
                 )
-                for q in _ABR_QUALITIES
+                for q in self._levels
             ]
             for k in range(length)
         ])
@@ -367,7 +370,7 @@ class PopulationEngine:
         background = ctx.manifest.tiles_size_mbit(other, LOWEST_QUALITY)
         sizes = [
             ctx.manifest.tiles_size_mbit(fov_tiles, q) + background
-            for q in _ABR_QUALITIES
+            for q in self._levels
         ]
         return sizes, _tile_rects(ctx.grid, fov_tiles)
 
@@ -389,7 +392,7 @@ class PopulationEngine:
         )
         feeder = _TraceFeeder(trace, predictor)
 
-        sizes = np.zeros((length, len(_ABR_QUALITIES)))
+        sizes = np.zeros((length, len(self._levels)))
         coverage = np.empty(length)
         decode_j = np.empty(length)
         used = np.zeros(length, dtype=bool)
@@ -511,7 +514,7 @@ class PopulationEngine:
                         matched.region_key, matched.area_fraction, q
                     )
                     + background
-                    for q in _ABR_QUALITIES
+                    for q in self._levels
                 ]
                 hq_rects = split_wrapped_rect(matched.rect)
                 decode_j[k] = self._decode_ptile_fps_j

@@ -150,7 +150,11 @@ class CtileScheme:
             return ctx.manifest.tiles_size_mbit(fov_tiles, quality) + background
 
         quality = self.abr.choose_quality(
-            size_at, ctx.bandwidth_mbps, ctx.buffer_s, ctx.segment_seconds
+            size_at,
+            ctx.bandwidth_mbps,
+            ctx.buffer_s,
+            ctx.segment_seconds,
+            qualities=ctx.manifest.encoder.ladder.levels,
         )
         return DownloadPlan(
             scheme_name=self.name,
@@ -189,7 +193,11 @@ class FtileScheme:
             return hq + background
 
         quality = self.abr.choose_quality(
-            size_at, ctx.bandwidth_mbps, ctx.buffer_s, ctx.segment_seconds
+            size_at,
+            ctx.bandwidth_mbps,
+            ctx.buffer_s,
+            ctx.segment_seconds,
+            qualities=ctx.manifest.encoder.ladder.levels,
         )
         return DownloadPlan(
             scheme_name=self.name,
@@ -218,7 +226,8 @@ class NontileScheme:
         def size_at(quality: float) -> float:
             return ctx.manifest.full_frame_size_mbit(quality)
 
-        steps = int(round(4.0 / self.ladder_step))
+        span = float(ctx.manifest.encoder.ladder.num_levels - 1)
+        steps = int(round(span / self.ladder_step))
         qualities = [1.0 + i * self.ladder_step for i in range(steps + 1)]
         quality = self.abr.choose_quality(
             size_at,
@@ -271,7 +280,11 @@ class PtileScheme:
             )
 
         quality = self.abr.choose_quality(
-            size_at, ctx.bandwidth_mbps, ctx.buffer_s, ctx.segment_seconds
+            size_at,
+            ctx.bandwidth_mbps,
+            ctx.buffer_s,
+            ctx.segment_seconds,
+            qualities=ctx.manifest.encoder.ladder.levels,
         )
         return DownloadPlan(
             scheme_name=self.name,

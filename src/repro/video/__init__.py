@@ -10,7 +10,13 @@ from .content import (
     build_catalog,
     build_video,
 )
-from .encoder import EncoderModel, QUALITY_LEVELS, quality_to_crf
+from .encoder import (
+    DEFAULT_ENCODING_LADDER,
+    EncoderModel,
+    EncodingLadder,
+    QUALITY_LEVELS,
+    quality_to_crf,
+)
 from .framerate import DEFAULT_LADDER, FrameRateLadder
 from .segments import SegmentManifest, VideoManifest
 from .storage import StorageReport, storage_report
@@ -24,7 +30,9 @@ __all__ = [
     "VIDEO_CATALOG",
     "build_catalog",
     "build_video",
+    "DEFAULT_ENCODING_LADDER",
     "EncoderModel",
+    "EncodingLadder",
     "QUALITY_LEVELS",
     "quality_to_crf",
     "DEFAULT_LADDER",

@@ -36,11 +36,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..encoding.ladder import DEFAULT_ENCODING_LADDER, EncodingLadder
 from ..geometry.tiling import DEFAULT_GRID, TileGrid
 
-__all__ = ["EncoderModel", "QUALITY_LEVELS", "quality_to_crf"]
+__all__ = [
+    "DEFAULT_ENCODING_LADDER",
+    "EncoderModel",
+    "EncodingLadder",
+    "QUALITY_LEVELS",
+    "quality_to_crf",
+]
 
-QUALITY_LEVELS = (1, 2, 3, 4, 5)
+QUALITY_LEVELS = DEFAULT_ENCODING_LADDER.levels
 """Quality levels used throughout the paper (1 lowest .. 5 highest)."""
 
 _CRF_REF = 28
@@ -99,16 +106,25 @@ def quality_to_crf(quality: float) -> float:
     integer levels are the paper's ladder; fractional levels in [1, 5]
     interpolate the CRF sweep and model the denser ladders whole-video
     players (Nontile / YouTube) use.
+
+    .. deprecated::
+        This is the *default* ladder only.  New code should go through
+        :meth:`EncodingLadder.crf` (usually ``encoder.ladder.crf``), which
+        validates and interpolates for any per-video ladder; this shim
+        delegates to :data:`DEFAULT_ENCODING_LADDER` and stays for the
+        paper-ladder call sites and tests.
     """
-    q = float(quality)
-    if not (1.0 <= q <= 5.0):
-        raise ValueError(f"quality must be within [1, 5], got {quality}")
-    return 43.0 - 5.0 * q
+    return DEFAULT_ENCODING_LADDER.crf(quality)
 
 
 def _efficiency_exponent(quality: float) -> float:
-    """Fig. 8-calibrated exponent, linearly interpolated between levels."""
-    q = float(quality)
+    """Fig. 8-calibrated exponent, linearly interpolated between levels.
+
+    The calibration spans the paper's five levels; ladders with more
+    rungs clamp into [1, 5] so the extra levels reuse the end-point
+    exponents rather than extrapolating the fit.
+    """
+    q = min(max(float(quality), 1.0), 5.0)
     lo = int(math.floor(q))
     hi = min(lo + 1, 5)
     frac = q - lo
@@ -145,6 +161,11 @@ class EncoderModel:
         per ``noise_key`` so repeated queries agree.
     seed:
         Base seed mixed into every noise draw.
+    ladder:
+        The encoding ladder mapping integer quality levels to CRFs.
+        Defaults to the paper's fixed 38..18 ladder; the per-content
+        optimizer (``repro.encoding.optimizer``) swaps in per-video
+        ladders via ``dataclasses.replace``.
     """
 
     grid: TileGrid = DEFAULT_GRID
@@ -152,6 +173,7 @@ class EncoderModel:
     ref_bitrate_mbps: float = 10.0
     noise_sigma: float = 0.12
     seed: int = 2022
+    ladder: EncodingLadder = DEFAULT_ENCODING_LADDER
 
     def __post_init__(self) -> None:
         if self.segment_seconds <= 0:
@@ -169,13 +191,20 @@ class EncoderModel:
         """Bitrate multiplier for content complexity (1.0 near SI 33, TI 14)."""
         return float(np.clip(0.35 + 0.011 * si + 0.022 * ti, 0.3, 2.5))
 
+    def full_frame_bitrate_at_crf(self, crf: float, si: float, ti: float) -> float:
+        """Bitrate (Mbps) of the whole 4K frame encoded at a raw CRF.
+
+        The ladder-free rate law; the per-content ladder search sweeps
+        this directly over its CRF grid.
+        """
+        rate = self.ref_bitrate_mbps * 2.0 ** ((_CRF_REF - crf) / _RATE_HALVING_CRF)
+        return rate * self.content_factor(si, ti)
+
     def full_frame_bitrate_mbps(
         self, quality: float, si: float, ti: float
     ) -> float:
         """Bitrate (Mbps) of the whole 4K frame encoded at a quality level."""
-        crf = quality_to_crf(quality)
-        rate = self.ref_bitrate_mbps * 2.0 ** ((_CRF_REF - crf) / _RATE_HALVING_CRF)
-        return rate * self.content_factor(si, ti)
+        return self.full_frame_bitrate_at_crf(self.ladder.crf(quality), si, ti)
 
     def fov_bitrate_mbps(
         self, quality: float, si: float, ti: float, n_fov_tiles: int = 9
@@ -208,13 +237,29 @@ class EncoderModel:
         rate = self.fov_bitrate_mbps(quality, si, ti, n_fov_tiles)
         return float(_QOE_BITRATE_SCALE * np.log2(1.0 + rate))
 
+    def fov_bitrate_at_crf(
+        self, crf: float, si: float, ti: float, n_fov_tiles: int = 9
+    ) -> float:
+        """FoV-share bitrate (Mbps) at a raw CRF (see fov_bitrate_mbps)."""
+        if n_fov_tiles < 1:
+            raise ValueError("FoV must cover at least one tile")
+        share = n_fov_tiles / self.grid.num_tiles
+        return self.full_frame_bitrate_at_crf(crf, si, ti) * share
+
+    def qoe_bitrate_at_crf(
+        self, crf: float, si: float, ti: float, n_fov_tiles: int = 9
+    ) -> float:
+        """Perceptually linearized FoV bitrate at a raw CRF (Eq. 3 ``b``)."""
+        rate = self.fov_bitrate_at_crf(crf, si, ti, n_fov_tiles)
+        return float(_QOE_BITRATE_SCALE * np.log2(1.0 + rate))
+
     # ------------------------------------------------------------------
     # Tiling overhead and large-tile efficiency
     # ------------------------------------------------------------------
 
     def overhead_fraction(self, quality: float) -> float:
         """Per-tile overhead as a fraction of unit-tile content bits."""
-        quality_to_crf(quality)  # validates the range
+        self.ladder.crf(quality)  # validates the range
         return _OVERHEAD_FRAC
 
     def efficiency(self, n_unit_tiles: float, quality: float) -> float:

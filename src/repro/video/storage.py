@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from .encoder import QUALITY_LEVELS
 from .framerate import DEFAULT_LADDER, FrameRateLadder
 from .segments import VideoManifest
 
@@ -80,14 +79,15 @@ def storage_report(
     nontile = 0.0
     ptile_extra = 0.0
     count = 0
+    levels = manifest.encoder.ladder.levels
     for seg in manifest:
-        for quality in QUALITY_LEVELS:
+        for quality in levels:
             ctile += seg.tiles_size_mbit(seg.grid.tiles(), quality)
             nontile += seg.full_frame_size_mbit(quality)
         sp = ptiles[seg.segment_index]
         for ptile in sp.ptiles:
             count += 1
-            for quality in QUALITY_LEVELS:
+            for quality in levels:
                 for rate in ladder.rates():
                     ptile_extra += seg.region_size_mbit(
                         ptile.region_key,

@@ -170,6 +170,44 @@ class TestMain:
             main(["shared-cache", "--tenant-viewers", "0"])
 
 
+class TestLadderCli:
+    def test_flag_defaults(self):
+        args = build_parser().parse_args(["ladder"])
+        assert args.quality_targets is None
+        assert args.ladder_cache is None
+        assert args.movable_levels == 1
+
+    def test_flag_parsing(self):
+        args = build_parser().parse_args([
+            "ladder", "--quality-targets", "40,50,60,70,80",
+            "--ladder-cache", "/tmp/ladders", "--movable-levels", "0",
+        ])
+        assert args.quality_targets == "40,50,60,70,80"
+        assert args.ladder_cache == "/tmp/ladders"
+        assert args.movable_levels == 0
+
+    def test_bad_targets_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ladder", "--quality-targets", "abc"])
+        with pytest.raises(SystemExit):
+            main(["ladder", "--quality-targets", "50,200"])
+        with pytest.raises(SystemExit):
+            main(["ladder", "--movable-levels", "-1"])
+
+    def test_ladder_tiny_run(self, capsys):
+        rc = main([
+            "ladder", "--duration", "12", "--users", "1",
+            "--no-artifact-cache",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "encoding ladder (q25 catalog targets, lowest 1 rung(s))" in out
+        assert "v8:fixed" in out
+        assert "v8:opt" in out
+        assert "frontier" in out
+        assert "improved=" in out
+
+
 class TestResilienceCli:
     def test_flag_defaults(self):
         parser = build_parser()

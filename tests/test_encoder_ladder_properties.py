@@ -1,0 +1,143 @@
+"""Property-based tests: EncoderModel invariants under arbitrary ladders.
+
+The ladder subsystem lets every video carry its own CRF ladder, so the
+encoder's physical invariants must hold for *any* valid
+:class:`~repro.encoding.EncodingLadder`, not just the paper's — bitrate
+strictly decreasing in CRF, a Ptile never costing more than the
+conventional tiles it covers, and frame-rate variants monotone in the
+kept-frame count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import CRF_MAX, EncodingLadder
+from repro.video import EncoderModel
+
+BASE_ENCODER = EncoderModel(noise_sigma=0.0)
+
+SI, TI = 33.0, 14.0
+
+si_st = st.floats(15.0, 50.0)
+ti_st = st.floats(3.0, 25.0)
+
+
+@st.composite
+def ladders(draw, min_levels=2, max_levels=7):
+    """Arbitrary valid ladders: descending CRFs, spacing >= 1, in range."""
+    n = draw(st.integers(min_levels, max_levels))
+    top = draw(st.floats(30.0, CRF_MAX))
+    gaps = draw(
+        st.lists(st.floats(1.0, 8.0), min_size=n - 1, max_size=n - 1)
+    )
+    crfs = [top]
+    for gap in gaps:
+        crfs.append(crfs[-1] - gap)
+    if crfs[-1] < 0.0:  # renormalize into [0, 51] preserving gaps
+        crfs = [c - crfs[-1] for c in crfs]
+    if crfs[0] > CRF_MAX:
+        span = crfs[0] - crfs[-1]
+        scale = (CRF_MAX - crfs[-1]) / span
+        crfs = [crfs[-1] + (c - crfs[-1]) * scale for c in crfs]
+    return EncodingLadder(crfs=tuple(crfs))
+
+
+def _encoder(ladder: EncodingLadder) -> EncoderModel:
+    return dataclasses.replace(BASE_ENCODER, ladder=ladder)
+
+
+class TestRateLawProperties:
+    @given(ladders(), si_st, ti_st)
+    @settings(max_examples=60, deadline=None)
+    def test_bitrate_strictly_decreasing_in_crf(self, ladder, si, ti):
+        encoder = _encoder(ladder)
+        rates = [
+            encoder.full_frame_bitrate_at_crf(crf, si, ti)
+            for crf in ladder.crfs
+        ]
+        # CRFs descend along the ladder, so rates strictly ascend.
+        for lower_q, higher_q in zip(rates, rates[1:]):
+            assert higher_q > lower_q
+
+    @given(ladders(), si_st, ti_st)
+    @settings(max_examples=60, deadline=None)
+    def test_bitrate_monotone_in_quality_level(self, ladder, si, ti):
+        encoder = _encoder(ladder)
+        rates = [
+            encoder.full_frame_bitrate_mbps(q, si, ti)
+            for q in ladder.levels
+        ]
+        assert rates == sorted(rates)
+
+    @given(ladders())
+    @settings(max_examples=60, deadline=None)
+    def test_fractional_quality_between_rungs(self, ladder):
+        encoder = _encoder(ladder)
+        for q in ladder.levels[:-1]:
+            mid = encoder.full_frame_bitrate_mbps(q + 0.5, SI, TI)
+            lo = encoder.full_frame_bitrate_mbps(q, SI, TI)
+            hi = encoder.full_frame_bitrate_mbps(q + 1, SI, TI)
+            assert lo <= mid <= hi
+
+
+class TestSizeProperties:
+    @given(ladders(), st.integers(1, 32), si_st, ti_st)
+    @settings(max_examples=60, deadline=None)
+    def test_ptile_no_larger_than_covered_tiles(self, ladder, n_tiles, si, ti):
+        # A Ptile encodes its region as one tile; cross-boundary
+        # redundancy means it never costs more bits than the same
+        # region shipped as independent conventional tiles.
+        encoder = _encoder(ladder)
+        for q in ladder.levels:
+            region = encoder.region_size_mbit(
+                q, si, ti, n_tiles / encoder.grid.num_tiles
+            )
+            tiles = encoder.tiled_region_size_mbit(q, si, ti, n_tiles)
+            assert region <= tiles * (1.0 + 1e-12)
+
+    @given(ladders(), st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_monotone_in_quality(self, ladder, n_tiles):
+        encoder = _encoder(ladder)
+        sizes = [
+            encoder.region_size_mbit(
+                q, SI, TI, n_tiles / encoder.grid.num_tiles
+            )
+            for q in ladder.levels
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestFrameRateProperties:
+    @given(
+        ladders(),
+        st.lists(st.floats(1.0, 30.0), min_size=2, max_size=6, unique=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_variants_monotone_in_kept_frames(self, ladder, frame_rates):
+        # More kept frames -> more bits, at every rung of any ladder.
+        encoder = _encoder(ladder)
+        frame_rates = sorted(frame_rates)
+        for q in ladder.levels:
+            sizes = [
+                encoder.region_size_mbit(
+                    q, SI, TI, 9 / 32, frame_rate=fr, fps=30.0
+                )
+                for fr in frame_rates
+            ]
+            assert sizes == sorted(sizes)
+            full = encoder.region_size_mbit(q, SI, TI, 9 / 32)
+            assert all(s <= full * (1.0 + 1e-12) for s in sizes)
+
+    @given(ladders())
+    @settings(max_examples=30, deadline=None)
+    def test_frame_rate_factor_bounds(self, ladder):
+        encoder = _encoder(ladder)
+        for fr in (7.5, 15.0, 30.0):
+            factor = encoder.frame_rate_factor(fr, 30.0)
+            assert 0.0 < factor <= 1.0
+        assert encoder.frame_rate_factor(30.0, 30.0) == 1.0

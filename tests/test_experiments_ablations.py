@@ -192,6 +192,62 @@ class TestSharedCacheSweep:
             sweep_shared_cache(two_video_setup, video_ids=())
 
 
+class TestLadderSweep:
+    def test_points_and_labels(self, tiny_setup):
+        from repro.experiments import sweep_ladder
+
+        points = sweep_ladder(tiny_setup, users=1)
+        assert [p.label for p in points] == ["v8:fixed", "v8:opt", "frontier"]
+        fixed, opt, frontier = points
+        assert "mbit" in fixed.extra
+        assert "saved" in opt.extra
+        # never_exceed_default_bits: the optimized ladder cannot stream
+        # more bits than the fixed one.
+        assert opt.extra["mbit"] <= fixed.extra["mbit"] + 1e-9
+        assert frontier.extra["videos"] == 1.0
+        assert 0.0 <= frontier.extra["improved"] <= 1.0
+
+    def test_serial_pooled_and_cache_states_identical(
+        self, two_video_setup, tmp_path
+    ):
+        from repro.experiments import ArtifactStore, sweep_ladder
+
+        serial = sweep_ladder(two_video_setup, users=1)
+        pooled = sweep_ladder(two_video_setup, users=1, workers=2)
+        store = ArtifactStore(tmp_path)
+        cold = sweep_ladder(two_video_setup, users=1, ladder_store=store,
+                            results=store)
+        warm = sweep_ladder(two_video_setup, users=1, ladder_store=store,
+                            results=store)
+        assert store.stats.misses.get("ladder", 0) == 2  # cold only
+        assert (
+            _point_signature(serial)
+            == _point_signature(pooled)
+            == _point_signature(cold)
+            == _point_signature(warm)
+        )
+
+    def test_explicit_targets_respected(self, tiny_setup):
+        from repro.experiments import sweep_ladder
+
+        # Unreachable targets: the search keeps the paper ladder, and
+        # the two variants stream identical sessions.
+        points = sweep_ladder(
+            tiny_setup, users=1, quality_targets=(100.0,) * 5
+        )
+        fixed, opt, _ = points
+        assert fixed.energy_per_segment_j == opt.energy_per_segment_j
+        assert fixed.qoe == opt.qoe
+
+    def test_requires_videos_and_users(self, tiny_setup):
+        from repro.experiments import sweep_ladder
+
+        with pytest.raises(ValueError):
+            sweep_ladder(tiny_setup, video_ids=())
+        with pytest.raises(ValueError):
+            sweep_ladder(tiny_setup, users=0)
+
+
 class TestRenderedViewSupply:
     def test_ptile_supplies_rendered_view(self, ptiles2):
         """Cross-module: the gnomonic renderer's sampled directions fall
